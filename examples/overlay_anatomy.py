@@ -1,0 +1,75 @@
+"""Overlay anatomy: look inside a running Vitis system.
+
+Run:  python examples/overlay_anatomy.py
+
+Uses the analysis API to dissect the hybrid overlay the gossip built:
+link-kind census, per-topic clusters and their diameters, elected
+gateways, relay trees and the rendezvous nodes — the "grapevine" of the
+paper's Figure 2/3, in numbers.
+"""
+
+from collections import Counter
+
+from repro import VitisConfig, VitisProtocol
+from repro.analysis.clusters import cluster_diameter, cluster_stats, topic_clusters
+from repro.core.routing_table import LinkKind
+from repro.workloads import low_correlation_subscriptions
+
+
+def main() -> None:
+    subscriptions = low_correlation_subscriptions(n_nodes=150, n_topics=400, seed=5)
+    vitis = VitisProtocol(
+        subscriptions, VitisConfig(rt_size=12), seed=5,
+        election_every=0, relay_every=0,
+    )
+    vitis.run_cycles(50)
+    vitis.finalize()
+
+    # ---- link census -------------------------------------------------
+    kinds = Counter()
+    for addr in vitis.live_addresses():
+        for entry in vitis.nodes[addr].rt:
+            kinds[entry.kind] += 1
+    print("link census (routing-table entries by kind):")
+    for kind in LinkKind:
+        print(f"  {kind.value:<12} {kinds[kind]:>5}")
+    print()
+
+    # ---- cluster anatomy ---------------------------------------------
+    stats = cluster_stats(vitis)
+    print("per-topic clustering:")
+    for key, value in stats.as_dict().items():
+        print(f"  {key:<26} {value:.2f}")
+    print()
+
+    # ---- one topic in detail -----------------------------------------
+    topic = max(vitis.topics(), key=lambda t: len(vitis.subscribers(t)))
+    adj = vitis.cluster_adjacency(topic)
+    clusters = topic_clusters(adj)
+    gateways = vitis.gateways_of(topic)
+    rendezvous = vitis.rendezvous_of(topic)
+    print(f"topic {topic}: {len(vitis.subscribers(topic))} subscribers, "
+          f"{len(clusters)} cluster(s), rendezvous node {rendezvous}")
+    for i, cluster in enumerate(clusters, 1):
+        diameter = cluster_diameter(adj, cluster)
+        gw_here = sorted(set(gateways) & cluster)
+        print(f"  cluster {i}: {len(cluster)} members, diameter {diameter}, "
+              f"gateway(s) {gw_here}")
+
+    # ---- relay tree of that topic ------------------------------------
+    on_tree = [
+        a for a in vitis.live_addresses()
+        if vitis.nodes[a].relay.on_tree(topic)
+    ]
+    relays_only = [
+        a for a in on_tree if not vitis.nodes[a].profile.subscribes_to(topic)
+    ]
+    print(f"  relay tree: {len(on_tree)} nodes on tree, "
+          f"{len(relays_only)} of them pure relays (uninterested)")
+    if rendezvous is not None:
+        children = vitis.nodes[rendezvous].relay.children.get(topic, set())
+        print(f"  rendezvous {rendezvous} has {len(children)} tree branch(es)")
+
+
+if __name__ == "__main__":
+    main()

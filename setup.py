@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build the
+editable wheel.  This shim enables the legacy editable path::
+
+    python setup.py develop --no-deps
+
+which is what the Makefile-style helpers and CI use here.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of Vitis (IPDPS 2011).
+
+Vitis is a gossip-based hybrid overlay for Internet-scale topic-based
+publish/subscribe: an unstructured, similarity-clustered overlay with an
+embedded navigable small-world structure enabling rendezvous routing.
+This package contains the full system described in the paper plus both
+baselines and every experiment of its evaluation section:
+
+- :mod:`repro.core` — the Vitis protocol itself;
+- :mod:`repro.sim` — the PeerSim-equivalent simulation substrate;
+- :mod:`repro.gossip` — peer sampling (Newscast, Cyclon) and T-Man;
+- :mod:`repro.smallworld` — ring maintenance, Symphony links, greedy routing;
+- :mod:`repro.baselines` — RVR (Scribe-like) and OPT (SpiderCast-like);
+- :mod:`repro.workloads` — subscription models, publication rates,
+  synthetic Twitter and Skype traces;
+- :mod:`repro.analysis` — cluster and distribution analysis;
+- :mod:`repro.experiments` — the per-figure scenario harness.
+
+Quickstart::
+
+    from repro import VitisProtocol, VitisConfig
+    from repro.workloads import high_correlation_subscriptions
+    from repro.sim import MetricsCollector
+
+    subs = high_correlation_subscriptions(n_nodes=200, n_topics=500, seed=1)
+    vitis = VitisProtocol(subs, VitisConfig(), seed=1)
+    vitis.run_cycles(30)
+    vitis.finalize()
+
+    collector = MetricsCollector()
+    for topic in vitis.topics()[:50]:
+        publisher = next(iter(vitis.subscribers(topic)))
+        collector.add(vitis.publish(topic, publisher))
+    print(collector.summary())
+"""
+
+from repro.core import (
+    IdSpace,
+    LinkKind,
+    NodeProfile,
+    RoutingTable,
+    UtilityFunction,
+    VitisConfig,
+    VitisNode,
+    VitisProtocol,
+)
+from repro.core.utility import PublicationRates
+from repro.sim import Engine, MetricsCollector, Network, SeedTree
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Engine",
+    "IdSpace",
+    "LinkKind",
+    "MetricsCollector",
+    "Network",
+    "NodeProfile",
+    "PublicationRates",
+    "RoutingTable",
+    "SeedTree",
+    "UtilityFunction",
+    "VitisConfig",
+    "VitisNode",
+    "VitisProtocol",
+    "__version__",
+]

@@ -1,0 +1,147 @@
+"""Per-topic cluster analysis.
+
+A *cluster* for topic ``t`` is a maximal connected subgraph of the overlay
+whose nodes are all subscribed to ``t`` (paper section I / III-B).  These
+helpers extract clusters from a running protocol, measure their diameters
+(which bound the gateway count via ``d``), and report gateway placement —
+the quantities behind the paper's design reasoning and our ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from statistics import mean
+from typing import Dict, Iterable, List, Optional, Set
+
+__all__ = ["topic_clusters", "cluster_diameter", "cluster_stats", "ClusterStats"]
+
+
+def topic_clusters(adjacency: Dict[int, Set[int]]) -> List[Set[int]]:
+    """Connected components of a topic's subscriber adjacency.
+
+    ``adjacency`` is symmetric (as produced by
+    ``VitisProtocol.cluster_adjacency``); isolated subscribers form
+    singleton clusters.
+    """
+    remaining = set(adjacency)
+    clusters: List[Set[int]] = []
+    while remaining:
+        start = remaining.pop()
+        comp = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if v in remaining:
+                    remaining.remove(v)
+                    comp.add(v)
+                    queue.append(v)
+        clusters.append(comp)
+    clusters.sort(key=lambda c: (-len(c), min(c)))
+    return clusters
+
+
+def _eccentricity(adjacency: Dict[int, Set[int]], start: int, members: Set[int]) -> int:
+    dist = {start: 0}
+    queue = deque([start])
+    worst = 0
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if v in members and v not in dist:
+                dist[v] = dist[u] + 1
+                worst = max(worst, dist[v])
+                queue.append(v)
+    return worst
+
+
+def cluster_diameter(adjacency: Dict[int, Set[int]], members: Set[int], exact_limit: int = 64) -> int:
+    """Diameter of one cluster.
+
+    Exact (all-pairs BFS) for clusters up to ``exact_limit`` members;
+    beyond that the standard double-sweep lower bound, which is exact on
+    trees and near-exact on gossip overlays.
+    """
+    if len(members) <= 1:
+        return 0
+    if len(members) <= exact_limit:
+        return max(_eccentricity(adjacency, m, members) for m in members)
+    start = min(members)
+    # Double sweep: BFS to the farthest node, then BFS from it.
+    far = _farthest(adjacency, start, members)
+    return _eccentricity(adjacency, far, members)
+
+
+def _farthest(adjacency: Dict[int, Set[int]], start: int, members: Set[int]) -> int:
+    dist = {start: 0}
+    queue = deque([start])
+    far = start
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if v in members and v not in dist:
+                dist[v] = dist[u] + 1
+                if dist[v] > dist[far]:
+                    far = v
+                queue.append(v)
+    return far
+
+
+class ClusterStats:
+    """Aggregate clustering statistics over a set of topics."""
+
+    def __init__(self) -> None:
+        self.per_topic_counts: List[int] = []
+        self.sizes: List[int] = []
+        self.diameters: List[int] = []
+        self.gateways_per_topic: List[int] = []
+
+    @property
+    def mean_clusters_per_topic(self) -> float:
+        return mean(self.per_topic_counts) if self.per_topic_counts else 0.0
+
+    @property
+    def mean_cluster_size(self) -> float:
+        return mean(self.sizes) if self.sizes else 0.0
+
+    @property
+    def max_diameter(self) -> int:
+        return max(self.diameters, default=0)
+
+    @property
+    def mean_gateways_per_topic(self) -> float:
+        return mean(self.gateways_per_topic) if self.gateways_per_topic else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean_clusters_per_topic": self.mean_clusters_per_topic,
+            "mean_cluster_size": self.mean_cluster_size,
+            "max_cluster_diameter": float(self.max_diameter),
+            "mean_gateways_per_topic": self.mean_gateways_per_topic,
+        }
+
+
+def cluster_stats(protocol, topics: Optional[Iterable[int]] = None) -> ClusterStats:
+    """Extract clustering statistics from a (Vitis) protocol snapshot.
+
+    Works on any protocol exposing ``cluster_adjacency`` and
+    ``gateways_of`` (RVR degenerate case: empty adjacency → every
+    subscriber a singleton cluster, every subscriber a gateway).
+    """
+    stats = ClusterStats()
+    if topics is None:
+        topics = protocol.topics()
+    for topic in topics:
+        adj = protocol.cluster_adjacency(topic)
+        members_known = set(adj)
+        # Subscribers missing from the adjacency (RVR) are singletons.
+        singles = protocol.subscribers(topic) - members_known
+        clusters = topic_clusters(adj) + [{a} for a in sorted(singles)]
+        if not clusters:
+            continue
+        stats.per_topic_counts.append(len(clusters))
+        for c in clusters:
+            stats.sizes.append(len(c))
+            stats.diameters.append(cluster_diameter(adj, c) if len(c) > 1 else 0)
+        stats.gateways_per_topic.append(len(protocol.gateways_of(topic)))
+    return stats

@@ -1,0 +1,140 @@
+"""Graph exports and whole-overlay structure metrics (networkx-backed).
+
+The cluster/diameter machinery in :mod:`repro.analysis.clusters` is
+hand-rolled for speed on per-topic subgraphs; this module covers the
+whole-overlay view: export to :mod:`networkx` for ad-hoc analysis, DOT
+text for visualisation, and the small-world statistics (clustering
+coefficient, path lengths) that characterise the hybrid topology the
+gossip builds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+
+__all__ = [
+    "overlay_digraph",
+    "relay_tree_graph",
+    "smallworld_stats",
+    "to_dot",
+]
+
+
+def overlay_digraph(protocol, kinds: Optional[Iterable] = None) -> nx.DiGraph:
+    """The live overlay as a directed graph.
+
+    Nodes carry ``node_id`` and ``n_subscriptions``; edges carry the link
+    ``kind`` (predecessor/successor/sw/friend).  Pass ``kinds`` to filter
+    (e.g. just the ring, or just the friend clusters).
+    """
+    if kinds is not None:
+        kinds = {getattr(k, "value", k) for k in kinds}
+    g = nx.DiGraph()
+    for a in protocol.live_addresses():
+        node = protocol.nodes[a]
+        g.add_node(a, node_id=node.node_id, n_subscriptions=len(node.profile))
+    for a in protocol.live_addresses():
+        rt = getattr(protocol.nodes[a], "rt", None)
+        if rt is None:  # OPT nodes have a plain neighbor set
+            for b in protocol.nodes[a].neighbors:
+                if g.has_node(b):
+                    g.add_edge(a, b, kind="opt")
+            continue
+        for entry in rt:
+            kind = entry.kind.value
+            if kinds is not None and kind not in kinds:
+                continue
+            if g.has_node(entry.address):
+                g.add_edge(a, entry.address, kind=kind)
+    return g
+
+
+def relay_tree_graph(protocol, topic: int) -> nx.DiGraph:
+    """The topic's relay tree: edges point toward the rendezvous.
+
+    Nodes are annotated with their role: ``subscriber``, ``gateway``,
+    ``relay`` or ``rendezvous``.
+    """
+    g = nx.DiGraph()
+    gateways = set(protocol.gateways_of(topic))
+    rendezvous = protocol.rendezvous_of(topic)
+    subscribers = protocol.subscribers(topic)
+    for a in protocol.live_addresses():
+        relay = protocol.nodes[a].relay
+        if not relay.on_tree(topic) and a not in subscribers:
+            continue
+        if a == rendezvous:
+            role = "rendezvous"
+        elif a in gateways:
+            role = "gateway"
+        elif a in subscribers:
+            role = "subscriber"
+        else:
+            role = "relay"
+        g.add_node(a, role=role)
+        parent = relay.parent.get(topic)
+        if parent is not None:
+            g.add_edge(a, parent)
+    return g
+
+
+def smallworld_stats(protocol) -> Dict[str, float]:
+    """Small-world statistics of the undirected overlay.
+
+    Returns clustering coefficient, average shortest path length on the
+    largest component, and their ratio to an Erdős–Rényi graph of the same
+    size/density — the classic "small-world-ness" reading: high relative
+    clustering with near-random path lengths.
+    """
+    g = overlay_digraph(protocol).to_undirected()
+    n = g.number_of_nodes()
+    if n < 3 or g.number_of_edges() == 0:
+        return {"nodes": float(n), "clustering": 0.0, "avg_path_length": 0.0,
+                "random_clustering": 0.0, "random_path_length": 0.0}
+    clustering = nx.average_clustering(g)
+    giant = g.subgraph(max(nx.connected_components(g), key=len))
+    # Exact average shortest path is O(n·m); populations here are small.
+    apl = nx.average_shortest_path_length(giant)
+    import math
+
+    k = 2 * g.number_of_edges() / n
+    rand_clustering = k / n
+    rand_apl = math.log(n) / math.log(max(2.0, k))
+    return {
+        "nodes": float(n),
+        "clustering": clustering,
+        "avg_path_length": apl,
+        "random_clustering": rand_clustering,
+        "random_path_length": rand_apl,
+    }
+
+
+def to_dot(graph: nx.DiGraph, name: str = "overlay") -> str:
+    """A minimal GraphViz DOT rendering (no pygraphviz dependency).
+
+    Link kinds map to colors; node roles (if present) to shapes.
+    """
+    colors = {
+        "successor": "black",
+        "predecessor": "gray",
+        "sw": "blue",
+        "friend": "forestgreen",
+        "opt": "purple",
+    }
+    shapes = {
+        "rendezvous": "doublecircle",
+        "gateway": "box",
+        "relay": "diamond",
+        "subscriber": "circle",
+    }
+    lines = [f"digraph {name} {{"]
+    for node, data in graph.nodes(data=True):
+        shape = shapes.get(data.get("role", ""), "circle")
+        lines.append(f'  n{node} [label="{node}", shape={shape}];')
+    for u, v, data in graph.edges(data=True):
+        color = colors.get(data.get("kind", ""), "black")
+        lines.append(f"  n{u} -> n{v} [color={color}];")
+    lines.append("}")
+    return "\n".join(lines)

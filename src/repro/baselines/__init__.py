@@ -1,0 +1,25 @@
+"""The paper's two baseline systems (section IV).
+
+- :class:`repro.baselines.rvr.RvrProtocol` — **RVR**: structured rendezvous
+  routing with fixed node degree, equivalent to Scribe/Bayeux: a multicast
+  tree per topic formed by every subscriber's greedy lookup toward
+  ``hash(topic)``, over a subscription-oblivious small-world overlay.
+- :class:`repro.baselines.opt.OptProtocol` — **OPT**: an unstructured
+  overlay-per-topic system that exploits subscription correlations to
+  minimise node degree, similar to SpiderCast; available in bounded-degree
+  and unbounded-degree variants.
+- :class:`repro.baselines.magnet.MagnetProtocol` — **Magnet-like**:
+  structured 1-D subscription clustering (related work the paper
+  critiques; lets the section II ordering Vitis ≪ Magnet ≤ RVR be
+  measured rather than asserted).
+
+Both are built from the same substrates as Vitis (same peer sampling, same
+T-Man exchange skeleton, same id space), exactly as the paper configures
+them to make the comparison fair.
+"""
+
+from repro.baselines.rvr import RvrProtocol
+from repro.baselines.opt import OptProtocol, OptNode
+from repro.baselines.magnet import MagnetProtocol
+
+__all__ = ["MagnetProtocol", "OptNode", "OptProtocol", "RvrProtocol"]

@@ -1,0 +1,118 @@
+"""Command-line entry points.
+
+::
+
+    python -m repro list                 # available experiments
+    python -m repro fig4 [--csv out.csv] [--seed N] [--scale X]
+    python -m repro fig9
+    ...
+
+Each figure command runs the corresponding scenario at its default
+(bench) size multiplied by ``--scale`` and prints the row table; ``--csv``
+additionally writes the raw rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import reporting, scenarios
+
+__all__ = ["main"]
+
+
+def _scaled_kwargs(fig: str, scale: float) -> Dict:
+    """Scale the population knobs of a scenario."""
+    int_knobs = {
+        "fig4": {"n_nodes": 300, "n_topics": 1000},
+        "fig5": {"n_nodes": 300, "n_topics": 1000},
+        "fig6": {"n_nodes": 300, "n_topics": 1000},
+        "fig7": {"n_nodes": 300, "n_topics": 1000},
+        "fig8": {"n_users": 20000},
+        "fig9": {"n_users": 20000},
+        "fig10": {"n_users": 6000, "sample_size": 600},
+        "fig11": {"n_users": 6000, "sample_size": 600},
+        "fig12": {"pool": 250},
+        "ablation_depth": {"n_nodes": 300, "n_topics": 1000},
+        "ablation_utility": {"n_nodes": 300, "n_topics": 1000},
+        "ablation_sampler": {"n_nodes": 300, "n_topics": 1000},
+        "ablation_sw": {"n_nodes": 300, "n_topics": 1000},
+        "ablation_proximity": {"n_nodes": 300, "n_topics": 1000},
+        "management_cost": {"n_users": 4000, "sample_size": 400},
+    }.get(fig, {})
+    return {k: max(2, int(v * scale)) for k, v in int_knobs.items()}
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "fig4": scenarios.fig4_friends_vs_sw,
+    "fig5": scenarios.fig5_overhead_distribution,
+    "fig6": scenarios.fig6_routing_table_size,
+    "fig7": scenarios.fig7_publication_rate,
+    "fig8": scenarios.fig8_twitter_degrees,
+    "fig10": scenarios.fig10_twitter_sweep,
+    "fig11": scenarios.fig11_opt_degree_distribution,
+    "fig12": scenarios.fig12_churn,
+    "ablation_depth": scenarios.ablation_gateway_depth,
+    "ablation_utility": scenarios.ablation_utility,
+    "ablation_sampler": scenarios.ablation_sampler,
+    "ablation_sw": scenarios.ablation_sw_links,
+    "ablation_proximity": scenarios.ablation_proximity,
+    "management_cost": scenarios.management_cost,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Vitis (IPDPS 2011) evaluation figures.",
+    )
+    parser.add_argument("command", help="'list', 'fig4'..'fig12', or an ablation name")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="population multiplier over the bench defaults",
+    )
+    parser.add_argument("--csv", help="also write raw rows to this CSV file")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("available experiments:")
+        for name in sorted(_COMMANDS) + ["fig9"]:
+            print(f"  {name}")
+        return 0
+
+    if args.command == "fig9":
+        kwargs = _scaled_kwargs("fig9", args.scale)
+        summary = scenarios.fig9_twitter_summary(seed=args.seed, **kwargs)
+        rows = [{"statistic": k, "value": v} for k, v in summary.items()]
+        print(reporting.format_table(rows, title="Fig. 9 — Twitter trace statistics"))
+        if args.csv:
+            _write_csv(args.csv, rows)
+        return 0
+
+    fn = _COMMANDS.get(args.command)
+    if fn is None:
+        print(f"unknown command {args.command!r}; try 'list'", file=sys.stderr)
+        return 2
+
+    kwargs = _scaled_kwargs(args.command, args.scale)
+    t0 = time.time()
+    rows = fn(seed=args.seed, **kwargs)
+    elapsed = time.time() - t0
+    print(reporting.format_table(rows, title=f"{args.command} ({elapsed:.1f}s)"))
+    if args.csv:
+        _write_csv(args.csv, rows)
+    return 0
+
+
+def _write_csv(path: str, rows: List[Dict]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(reporting.rows_to_csv(rows))
+    print(f"wrote {len(rows)} rows to {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""The Vitis protocol — the paper's primary contribution.
+
+Public surface:
+
+- :class:`repro.core.config.VitisConfig` — all protocol parameters.
+- :class:`repro.core.protocol.VitisProtocol` — a whole Vitis system: builds
+  the hybrid overlay by gossip, elects gateways, installs relay paths and
+  disseminates events.
+- :class:`repro.core.node.VitisNode` — a single participant.
+- :mod:`repro.core.identifiers` — the circular id space shared by node ids
+  and topic ids.
+"""
+
+from repro.core.config import VitisConfig
+from repro.core.deployment import DeployedVitis
+from repro.core.identifiers import IdSpace
+from repro.core.node import VitisNode
+from repro.core.profile import NodeProfile
+from repro.core.protocol import VitisProtocol
+from repro.core.routing_table import LinkKind, RoutingTable
+from repro.core.utility import UtilityFunction
+
+__all__ = [
+    "DeployedVitis",
+    "IdSpace",
+    "LinkKind",
+    "NodeProfile",
+    "RoutingTable",
+    "UtilityFunction",
+    "VitisConfig",
+    "VitisNode",
+    "VitisProtocol",
+]

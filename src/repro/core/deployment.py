@@ -1,0 +1,527 @@
+"""Message-driven Vitis deployment mode.
+
+:class:`repro.core.protocol.VitisProtocol` runs the protocol cycle-driven,
+the PeerSim ``cdsim`` idiom the paper's evaluation uses.  This module runs
+the *same* protocol the way a deployment would (PeerSim ``edsim``):
+
+- every interaction is a real :class:`~repro.sim.messages.Message` through
+  the network, subject to a pluggable latency model;
+- each node runs on its own periodic timer with phase jitter — there are
+  no global rounds and no shared state reads;
+- gateway proposals are piggybacked on the periodic profile messages,
+  exactly as the paper describes (Alg. 5/6): elections run against the
+  *last received* neighbor state, not live state;
+- heartbeats are real: a routing-table entry's age resets only when a
+  message from that neighbor arrives, and relay state expires unless the
+  responsible gateway keeps refreshing it.
+
+Measurement remains omniscient (the simulator grades delivery against
+ground-truth subscriptions), but protocol decisions use only information
+that actually travelled in messages.
+
+The class exposes the same surface the dissemination engine consumes
+(``nodes``, ``profile_of``, ``cluster_adjacency``, ``subscribers``,
+``lookup``, …), so :func:`repro.core.dissemination.disseminate` and the
+measurement helpers work unchanged — and the test suite can assert the
+deployed mode converges to the same overlay invariants as the cycle mode.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.config import VitisConfig
+from repro.core.gateway import Proposal, elect_round
+from repro.core.identifiers import IdSpace
+from repro.core.node import VitisNode, _merge_unique
+from repro.core.utility import PublicationRates, UtilityFunction
+from repro.gossip.view import Descriptor
+from repro.sim.engine import Engine, PeriodicTask
+from repro.sim.messages import (
+    Notification,
+    ProfileMessage,
+    PsExchangeReply,
+    PsExchangeRequest,
+    RelayInstall,
+    RtExchangeReply,
+    RtExchangeRequest,
+)
+from repro.sim.metrics import DisseminationRecord
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rng import SeedTree
+from repro.smallworld.routing import LookupResult, greedy_route
+
+__all__ = ["DeployedVitis", "DeployedVitisNode", "NeighborInfo"]
+
+
+def _pack(descriptors) -> List[tuple]:
+    """Descriptors → wire format (address, node_id, age)."""
+    return [(d.address, d.node_id, d.age) for d in descriptors]
+
+
+def _unpack(triples) -> List[Descriptor]:
+    return [Descriptor(a, i, g) for a, i, g in triples]
+
+
+@dataclass
+class NeighborInfo:
+    """What a node has learned about a neighbor from its profile messages."""
+
+    subscriptions: FrozenSet[int] = frozenset()
+    version: int = -1
+    proposals: Dict[int, Proposal] = field(default_factory=dict)
+    last_heard: float = 0.0
+
+
+class DeployedVitisNode(VitisNode):
+    """A Vitis node driven entirely by messages and its own timer."""
+
+    __slots__ = ("system", "neighbor_state", "relay_stamp", "child_stamp", "_task")
+
+    #: Per-period probability that a gateway re-evaluates its relay path
+    #: from scratch (path repair; see ``_start_relay_install``).
+    REROUTE_P = 0.15
+
+    def __init__(self, system: "DeployedVitis", address: int, subscriptions) -> None:
+        super().__init__(
+            address,
+            system.space.node_id(address),
+            subscriptions,
+            system.config,
+            system.space,
+            system.utility,
+            system.seeds.pyrandom("node", address),
+        )
+        self.system = system
+        #: address → NeighborInfo, fed exclusively by received messages.
+        self.neighbor_state: Dict[int, NeighborInfo] = {}
+        #: topic → engine time the relay entry was last refreshed.
+        self.relay_stamp: Dict[int, float] = {}
+        #: (topic, child) → last refresh; children expire individually,
+        #: else every path that ever crossed this node stays on the tree.
+        self.child_stamp: Dict[tuple, float] = {}
+        self._task: Optional[PeriodicTask] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def deploy(self, bootstrap: List[Descriptor]) -> None:
+        """Join and start the periodic protocol timer (phase-jittered)."""
+        self.join(bootstrap)
+        self.neighbor_state.clear()
+        self.relay_stamp.clear()
+        self.child_stamp.clear()
+        if self._task is not None:
+            self._task.stop()
+        period = self.config.gossip_period * (1.0 + 0.2 * (self.rng.random() - 0.5))
+        self._task = PeriodicTask(self.system.engine, period, self._tick)
+
+    def undeploy(self) -> None:
+        """Crash: stop the timer and go silent."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Periodic protocol tick (Alg. 1 lines 5-7, one node's view)
+    # ------------------------------------------------------------------
+    def _tick(self) -> Optional[bool]:
+        if not self.alive:
+            return False
+        net = self.system.network
+        now = self.system.engine.now
+
+        # --- peer sampling: active Newscast exchange -------------------
+        self.ps.view.age_all()
+        self.ps.view.drop_older_than(self.ps.max_age)
+        peer = self.ps.view.random_descriptor(self.rng)
+        if peer is not None:
+            net.send(
+                PsExchangeRequest(
+                    src=self.address,
+                    dst=peer.address,
+                    view=_pack(list(self.ps.view) + [self.ps.descriptor()]),
+                )
+            )
+
+        # --- T-Man: active routing-table exchange (Alg. 2) -------------
+        target = self._pick_exchange_peer(self.system.is_alive)
+        if target is not None:
+            net.send(
+                RtExchangeRequest(
+                    src=self.address,
+                    dst=target,
+                    buffer=_pack(self.exchange_buffer() + [self.descriptor()]),
+                )
+            )
+
+        # --- heartbeats: age entries, evict the silent ------------------
+        # Ages are reset by *received* messages (see _heard_from); here
+        # every entry ages one period and stale ones are evicted.
+        for entry in list(self.rt):
+            entry.age += 1
+            if entry.age > self.config.staleness_threshold:
+                self.rt.remove(entry.address)
+                self.neighbor_state.pop(entry.address, None)
+
+        # --- election against last-received neighbor state (Alg. 5) ----
+        self.gw_state.proposals = elect_round(
+            self.space,
+            self.gw_state,
+            self.profile.subscriptions,
+            self.rt,
+            neighbor_subscriptions=self._known_subs,
+            neighbor_proposal=self._known_proposal,
+            topic_ids=self.system.topic_id,
+            depth=self.config.gateway_depth,
+        )
+
+        # --- profile/heartbeat messages with piggybacked proposals ------
+        # Alg. 6/7 is request/response: the neighbor's reply is what
+        # resets its age (a one-way routing-table edge would otherwise
+        # never hear back from a neighbor that does not link to us).
+        payload = self._profile_payload(is_reply=False)
+        for entry in self.rt:
+            net.send(ProfileMessage(src=self.address, dst=entry.address, profile=payload))
+
+        # --- relay maintenance ------------------------------------------
+        ttl = self.config.staleness_threshold * self.config.gossip_period
+        for (topic, child), stamp in list(self.child_stamp.items()):
+            if now - stamp > ttl:
+                kids = self.relay.children.get(topic)
+                if kids is not None:
+                    kids.discard(child)
+                    if not kids:
+                        del self.relay.children[topic]
+                del self.child_stamp[(topic, child)]
+        for topic in list(self.relay_stamp):
+            if now - self.relay_stamp[topic] > ttl:
+                self.relay.drop_topic(topic)
+                self.relay_stamp.pop(topic, None)
+                for key in [k for k in self.child_stamp if k[0] == topic]:
+                    del self.child_stamp[key]
+        for topic in self.gw_state.gateway_topics():
+            # Gateways (re-)request their relay path every period
+            # (Alg. 5 line 21); grafting keeps the cost low.
+            self._start_relay_install(topic)
+        return True
+
+    def _profile_payload(self, is_reply: bool) -> tuple:
+        """The wire form of a profile message: subscriptions, version,
+        piggybacked gateway proposals, and the request/reply flag."""
+        return (
+            frozenset(self.profile.subscriptions),
+            self.profile.version,
+            dict(self.gw_state.proposals),
+            is_reply,
+        )
+
+    def _known_subs(self, address: int) -> FrozenSet[int]:
+        info = self.neighbor_state.get(address)
+        return info.subscriptions if info is not None else frozenset()
+
+    def _known_proposal(self, address: int, topic: int) -> Optional[Proposal]:
+        info = self.neighbor_state.get(address)
+        return info.proposals.get(topic) if info is not None else None
+
+    # ------------------------------------------------------------------
+    # Relay installation by message hops
+    # ------------------------------------------------------------------
+    def _start_relay_install(self, topic: int) -> None:
+        target_id = self.system.topic_id(topic)
+        self.relay_stamp[topic] = self.system.engine.now
+        # Sticky paths (Scribe-style maintenance): keep the current parent
+        # while it lives; recomputing every period would re-route the
+        # branch whenever a small-world link rotates and litter the
+        # overlay with decaying stale branches.  A small re-route
+        # probability repairs paths that were installed while the overlay
+        # was still converging (long detours) without reintroducing the
+        # churn of always-recompute.
+        nxt = self.relay.parent.get(topic)
+        if nxt is not None and self.rng.random() < self.REROUTE_P:
+            nxt = None
+        if nxt is None or not self.system.is_alive(nxt):
+            nxt = self._next_hop(target_id)
+            if nxt is None:
+                return  # this node is the rendezvous of its own topic
+        self.relay.set_parent(topic, nxt)
+        self.system.network.send(
+            RelayInstall(
+                src=self.address, dst=nxt, topic=topic,
+                target_id=target_id, origin=self.address, hops=1,
+            )
+        )
+
+    def _next_hop(self, target_id: int) -> Optional[int]:
+        """The strictly-closer live routing-table neighbor, if any."""
+        best, best_d = None, self.space.distance(self.node_id, target_id)
+        for addr, nid in self.rt.links():
+            d = self.space.distance(nid, target_id)
+            if d < best_d or (d == best_d and best is not None and addr < best):
+                best, best_d = addr, d
+        return best
+
+    def _on_relay_install(self, msg: RelayInstall) -> None:
+        now = self.system.engine.now
+        self.relay.add_child(msg.topic, msg.src)
+        self.child_stamp[(msg.topic, msg.src)] = now
+        self.relay_stamp[msg.topic] = now
+        if msg.hops >= self.config.max_lookup_hops:
+            return
+        existing = self.relay.parent.get(msg.topic)
+        if existing is not None and self.system.is_alive(existing):
+            # Graft onto the existing branch — but keep forwarding along
+            # it so the whole path to the rendezvous stays refreshed
+            # (otherwise deep tree segments would expire between grafts).
+            nxt = existing
+        else:
+            nxt = self._next_hop(msg.target_id)
+            if nxt is None:
+                return  # rendezvous reached
+            self.relay.set_parent(msg.topic, nxt)
+        self.system.network.send(
+            RelayInstall(
+                src=self.address, dst=nxt, topic=msg.topic,
+                target_id=msg.target_id, origin=msg.origin, hops=msg.hops + 1,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, msg) -> None:
+        self._heard_from(msg.src)
+        if isinstance(msg, PsExchangeRequest):
+            reply = _pack(list(self.ps.view) + [self.ps.descriptor()])
+            self.ps.view.merge(_unpack(msg.view), exclude=self.address)
+            self.ps.view.trim(self.rng)
+            self.system.network.send(
+                PsExchangeReply(src=self.address, dst=msg.src, view=reply)
+            )
+        elif isinstance(msg, PsExchangeReply):
+            self.ps.view.merge(_unpack(msg.view), exclude=self.address)
+            self.ps.view.trim(self.rng)
+        elif isinstance(msg, RtExchangeRequest):
+            reply = _pack(self.exchange_buffer() + [self.descriptor()])
+            merged = _merge_unique(
+                self.exchange_buffer() + _unpack(msg.buffer), self.address
+            )
+            self._install_selection(merged, self._profile_from_state)
+            self.system.network.send(
+                RtExchangeReply(src=self.address, dst=msg.src, buffer=reply)
+            )
+        elif isinstance(msg, RtExchangeReply):
+            merged = _merge_unique(
+                self.exchange_buffer() + _unpack(msg.buffer), self.address
+            )
+            self._install_selection(merged, self._profile_from_state)
+        elif isinstance(msg, ProfileMessage):
+            subs, version, proposals, is_reply = msg.profile
+            info = self.neighbor_state.setdefault(msg.src, NeighborInfo())
+            info.subscriptions = subs
+            info.version = version
+            info.proposals = proposals
+            info.last_heard = self.system.engine.now
+            if not is_reply:
+                self.system.network.send(
+                    ProfileMessage(
+                        src=self.address,
+                        dst=msg.src,
+                        profile=self._profile_payload(is_reply=True),
+                    )
+                )
+        elif isinstance(msg, RelayInstall):
+            self._on_relay_install(msg)
+        elif isinstance(msg, Notification):
+            sink = getattr(self.network, "notification_sink", None)
+            if sink is not None:
+                sink.on_notification(self, msg)
+
+    def _heard_from(self, address: int) -> None:
+        """Any message doubles as a heartbeat (Alg. 7)."""
+        self.rt.heartbeat(address)
+
+    def _profile_from_state(self, address: int):
+        """Friend ranking uses *learned* profiles only.
+
+        Falls back to the system's ground truth when nothing was heard
+        yet — matching the paper's assumption that exchanged descriptors
+        carry enough profile summary to rank candidates.
+        """
+        info = self.neighbor_state.get(address)
+        if info is not None and info.version >= 0:
+            from repro.core.profile import NodeProfile
+
+            p = NodeProfile(address, self.space.node_id(address), info.subscriptions)
+            # Align the version so utility caching keys stay precise.
+            p.version = info.version
+            return p
+        return self.system.profile_of(address)
+
+
+class DeployedVitis:
+    """A whole message-driven Vitis system.
+
+    Exposes the protocol surface the dissemination engine and the
+    measurement helpers consume, so results are directly comparable with
+    the cycle-driven :class:`~repro.core.protocol.VitisProtocol`.
+    """
+
+    name = "vitis-deployed"
+
+    def __init__(
+        self,
+        subscriptions,
+        config: VitisConfig = VitisConfig(),
+        seed: int = 0,
+        rates: Optional[PublicationRates] = None,
+        latency: Optional[LatencyModel] = None,
+        auto_start: bool = True,
+    ) -> None:
+        from repro.core.protocol import _normalize_subscriptions
+
+        self.config = config
+        self.space = IdSpace()
+        self.seeds = SeedTree(seed)
+        self.engine = Engine()
+        self.network = Network(self.engine, latency)
+        subs = _normalize_subscriptions(subscriptions)
+        max_topic = max((t for s in subs.values() for t in s), default=-1)
+        if rates is not None:
+            max_topic = max(max_topic, rates.n_topics - 1)
+        self.n_topics = max_topic + 1
+        self.rates = rates if rates is not None else PublicationRates.uniform(max(1, self.n_topics))
+        self.utility = UtilityFunction(self.rates, config.rate_weighted_utility)
+        self._topic_ids: Dict[int, int] = {}
+        self.sub_index: Dict[int, Set[int]] = defaultdict(set)
+        self.nodes: Dict[int, DeployedVitisNode] = {}
+        self._rng = self.seeds.pyrandom("system")
+        self._event_counter = 0
+
+        for address in sorted(subs):
+            node = DeployedVitisNode(self, address, subs[address])
+            self.network.add(node)
+            self.nodes[address] = node
+            for t in node.profile.subscriptions:
+                self.sub_index[t].add(address)
+        if auto_start:
+            for address in sorted(self.nodes):
+                self.join(address)
+
+    # ------------------------------------------------------------------
+    # Population (same surface as OverlayProtocolBase)
+    # ------------------------------------------------------------------
+    def is_alive(self, address: int) -> bool:
+        n = self.nodes.get(address)
+        return n is not None and n.alive
+
+    def profile_of(self, address: int):
+        n = self.nodes.get(address)
+        return n.profile if n is not None else None
+
+    def live_addresses(self) -> List[int]:
+        return [a for a, n in self.nodes.items() if n.alive]
+
+    def live_count(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.alive)
+
+    def topic_id(self, topic: int) -> int:
+        tid = self._topic_ids.get(topic)
+        if tid is None:
+            tid = self.space.topic_id(topic)
+            self._topic_ids[topic] = tid
+        return tid
+
+    def subscribers(self, topic: int, live_only: bool = True) -> Set[int]:
+        subs = self.sub_index.get(topic, set())
+        if not live_only:
+            return set(subs)
+        return {a for a in subs if self.is_alive(a)}
+
+    def topics(self) -> List[int]:
+        return sorted(t for t, s in self.sub_index.items() if s)
+
+    def join(self, address: int) -> None:
+        node = self.nodes[address]
+        live = [a for a in self.live_addresses() if a != address]
+        if len(live) > self.config.peer_view_size:
+            live = self._rng.sample(live, self.config.peer_view_size)
+        node.deploy([self.nodes[a].descriptor() for a in live])
+
+    def leave(self, address: int) -> None:
+        self.nodes[address].undeploy()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, seconds: float) -> None:
+        """Advance simulated time; timers and messages interleave freely."""
+        self.engine.run(until=self.engine.now + seconds)
+
+    # ------------------------------------------------------------------
+    # Measurement surface (ground-truth observer)
+    # ------------------------------------------------------------------
+    @property
+    def topology_version(self) -> float:
+        # Message mode has no cycle counter; time is the version.  The
+        # cluster cache below keys on it, so snapshots within the same
+        # instant are shared.
+        return self.engine.now
+
+    def cluster_adjacency(self, topic: int) -> Dict[int, Set[int]]:
+        members = self.subscribers(topic)
+        adj: Dict[int, Set[int]] = {a: set() for a in members}
+        for a in members:
+            for baddr, _ in self.nodes[a].rt.links():
+                if baddr in adj:
+                    adj[a].add(baddr)
+                    adj[baddr].add(a)
+        return adj
+
+    def lookup(self, start: int, target_id: int) -> LookupResult:
+        node = self.nodes[start]
+        return greedy_route(
+            self.space,
+            target_id,
+            start,
+            node.node_id,
+            neighbors_of=lambda a: self.nodes[a].rt.links(),
+            is_alive=self.is_alive,
+            max_hops=self.config.max_lookup_hops,
+        )
+
+    def rendezvous_of(self, topic: int) -> Optional[int]:
+        live = self.live_addresses()
+        if not live:
+            return None
+        tid = self.topic_id(topic)
+        return min(live, key=lambda a: (self.space.distance(self.nodes[a].node_id, tid), a))
+
+    def successor_map(self) -> Dict[int, Optional[int]]:
+        out: Dict[int, Optional[int]] = {}
+        for a in self.live_addresses():
+            succ = self.nodes[a].rt.successor()
+            out[a] = succ.address if succ is not None else None
+        return out
+
+    def ids_by_address(self) -> Dict[int, int]:
+        return {a: self.nodes[a].node_id for a in self.live_addresses()}
+
+    def gateways_of(self, topic: int) -> List[int]:
+        out = []
+        for a in self.sub_index.get(topic, ()):
+            n = self.nodes[a]
+            if n.alive:
+                p = n.gw_state.get(topic)
+                if p is not None and p.gw_addr == a:
+                    out.append(a)
+        return sorted(out)
+
+    def publish(self, topic: int, publisher: int) -> DisseminationRecord:
+        from repro.core.dissemination import disseminate
+
+        self._event_counter += 1
+        return disseminate(self, topic, publisher, self._event_counter)

@@ -1,0 +1,138 @@
+"""Gateway election — paper Algorithm 5.
+
+For every topic it subscribes to, a node keeps a *proposal*
+``(GW, parent, hops)``: the best gateway candidate it knows, the neighbor
+it learned it from, and its own hop distance to that gateway.  Every round
+the proposal is recomputed from scratch (Alg. 5 line 3 re-inits to self)
+and the best neighbor proposal — the one whose gateway id is circularly
+closest to ``hash(t)`` — is adopted, provided the adoption keeps the node
+within ``d`` hops of the gateway.
+
+Consequences (paper section III-B):
+
+- every cluster elects at least one gateway (a node that finds nothing
+  better than itself within reach stays gateway);
+- the number of gateways per cluster is proportional to the cluster
+  diameter, controlled by ``d``;
+- no consensus is needed; several gateways per cluster are allowed and
+  improve robustness at the cost of extra relay paths.
+
+Proposals spread one hop per round, so election stabilises within
+``min(diameter, d)`` rounds of a topology change.
+
+Loop avoidance: Alg. 5 line 7 accepts a neighbor's proposal only if the
+neighbor either originated it (``neighbor == new.parent``) or its parent is
+outside the local routing table.  We additionally never adopt a proposal
+whose gateway is ourselves via someone else (it could only report a stale
+hop count for us); the strict distance-improvement order (lines 8–10)
+already rules out cyclic adoption of distinct gateways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.core.identifiers import IdSpace
+from repro.core.routing_table import RoutingTable
+
+__all__ = ["Proposal", "GatewayState", "elect_round"]
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A gateway proposal for one topic, as held by one node."""
+
+    gw_addr: int
+    gw_id: int
+    parent_addr: int
+    hops: int
+
+    def is_self_proposal(self, address: int) -> bool:
+        return self.gw_addr == address
+
+
+class GatewayState:
+    """Per-node election state: ``topic → Proposal``."""
+
+    __slots__ = ("address", "node_id", "proposals")
+
+    def __init__(self, address: int, node_id: int) -> None:
+        self.address = address
+        self.node_id = node_id
+        self.proposals: Dict[int, Proposal] = {}
+
+    def get(self, topic: int) -> Optional[Proposal]:
+        return self.proposals.get(topic)
+
+    def gateway_topics(self) -> List[int]:
+        """Topics for which this node currently considers itself gateway."""
+        return [t for t, p in self.proposals.items() if p.gw_addr == self.address]
+
+    def clear(self) -> None:
+        self.proposals.clear()
+
+
+def elect_round(
+    space: IdSpace,
+    state: GatewayState,
+    subscriptions: FrozenSet[int],
+    rt: RoutingTable,
+    neighbor_subscriptions: Callable[[int], FrozenSet[int]],
+    neighbor_proposal: Callable[[int, int], Optional[Proposal]],
+    topic_ids: Callable[[int], int],
+    depth: int,
+) -> Dict[int, Proposal]:
+    """One Alg. 5 round for one node; returns the *new* proposal map.
+
+    The caller commits the returned map afterwards (two-phase update), so
+    every node in a cycle reads its neighbors' previous-round proposals —
+    the synchronous-round equivalent of proposals piggybacked on profile
+    messages.
+
+    Parameters
+    ----------
+    neighbor_subscriptions:
+        ``addr → frozenset`` of the neighbor's topics (from its last
+        profile message).
+    neighbor_proposal:
+        ``(addr, topic) → Proposal | None`` — the neighbor's proposal as of
+        the previous round.
+    topic_ids:
+        ``topic → hash(topic)`` in the id space.
+    depth:
+        The ``d`` threshold.
+    """
+    new_proposals: Dict[int, Proposal] = {}
+    self_addr = state.address
+    self_id = state.node_id
+    rt_addresses = set(rt.addresses)
+
+    for topic in subscriptions:
+        t_id = topic_ids(topic)
+        # Alg. 5 line 3: restart from self each round.
+        prop = Proposal(self_addr, self_id, self_addr, 0)
+        current_dis = space.distance(self_id, t_id)
+
+        for entry in rt:
+            naddr = entry.address
+            if topic not in neighbor_subscriptions(naddr):
+                continue  # Alg. 5 line 5: only same-cluster neighbors count
+            new = neighbor_proposal(naddr, topic)
+            if new is None:
+                continue
+            # Alg. 5 line 7 acceptance condition (see module docstring).
+            if not (new.parent_addr == naddr or new.parent_addr not in rt_addresses):
+                continue
+            if new.gw_addr == self_addr and new.parent_addr != self_addr:
+                continue  # echoed self-proposal with stale hop count
+            new_dis = space.distance(new.gw_id, t_id)
+            if new_dis < current_dis and new.hops + 1 < depth:
+                prop = Proposal(new.gw_addr, new.gw_id, naddr, new.hops + 1)
+                current_dis = new_dis
+            elif new.gw_addr == prop.gw_addr and new.hops + 1 < prop.hops:
+                prop = Proposal(new.gw_addr, new.gw_id, naddr, new.hops + 1)
+
+        new_proposals[topic] = prop
+
+    return new_proposals

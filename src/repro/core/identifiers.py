@@ -1,0 +1,115 @@
+"""The circular identifier space shared by node ids and topic ids.
+
+The paper assigns both node ids and topic ids from the same identifier
+space via a globally known uniform hash (they use SHA-1; any uniform hash
+has the same behaviour).  We use a 64-bit space and ``blake2b`` with an
+8-byte digest — deterministic across runs and processes, unlike Python's
+built-in salted ``hash``.
+
+Three distance notions are needed:
+
+- :meth:`IdSpace.distance` — circular (bidirectional) distance, used to
+  decide which node is *closest* to a topic id (rendezvous selection,
+  greedy routing, gateway comparison, Alg. 5 lines 8–9).
+- :meth:`IdSpace.clockwise` — directed distance, used for ring maintenance
+  (successor = minimal clockwise distance; predecessor = minimal
+  counter-clockwise distance).
+- :meth:`IdSpace.fraction` — distances as a fraction of the ring, used by
+  the Symphony harmonic draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional
+
+__all__ = ["IdSpace", "DEFAULT_BITS"]
+
+DEFAULT_BITS = 64
+
+
+class IdSpace:
+    """A ``2**bits`` circular identifier space with a uniform hash.
+
+    Instances are cheap and stateless; a single instance is shared by an
+    entire simulation so every component agrees on the geometry.
+    """
+
+    __slots__ = ("bits", "size", "_mask")
+
+    def __init__(self, bits: int = DEFAULT_BITS) -> None:
+        if not 8 <= bits <= 160:
+            raise ValueError("bits must be in [8, 160]")
+        self.bits = bits
+        self.size = 1 << bits
+        self._mask = self.size - 1
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def hash_key(self, key) -> int:
+        """Uniformly hash an arbitrary key (topic name, address, …) into
+        the space.  Deterministic across processes."""
+        data = repr(key).encode("utf-8")
+        digest = hashlib.blake2b(data, digest_size=20).digest()
+        return int.from_bytes(digest, "big") % self.size
+
+    def node_id(self, address: int) -> int:
+        """The overlay id of the node at ``address``."""
+        return self.hash_key(("node", address))
+
+    def topic_id(self, topic) -> int:
+        """The overlay id of a topic — the paper's ``hash(t)``."""
+        return self.hash_key(("topic", topic))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def distance(self, a: int, b: int) -> int:
+        """Circular distance: ``min(|a-b|, size - |a-b|)``."""
+        d = (a - b) % self.size
+        return min(d, self.size - d)
+
+    def clockwise(self, a: int, b: int) -> int:
+        """Directed distance travelling clockwise from ``a`` to ``b``.
+
+        Zero iff ``a == b``.
+        """
+        return (b - a) % self.size
+
+    def fraction(self, a: int, b: int) -> float:
+        """Circular distance as a fraction of the whole ring, in [0, 0.5]."""
+        return self.distance(a, b) / self.size
+
+    def offset(self, a: int, delta: int) -> int:
+        """The id ``delta`` steps clockwise from ``a`` (delta may be huge)."""
+        return (a + delta) % self.size
+
+    def between(self, x: int, a: int, b: int) -> bool:
+        """True iff ``x`` lies on the clockwise arc ``(a, b]``.
+
+        The standard Chord-style membership test; with ``a == b`` the arc is
+        the whole ring minus ``a`` plus ``b``, i.e. always True for
+        ``x != a`` and also for ``x == b``.
+        """
+        if a == b:
+            return x == b or x != a
+        return self.clockwise(a, x) <= self.clockwise(a, b) and x != a
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+    def closest(self, target: int, ids: Iterable[int]) -> Optional[int]:
+        """The id among ``ids`` with minimal circular distance to
+        ``target`` (ties broken toward the numerically smaller id)."""
+        best = None
+        best_d = None
+        for i in ids:
+            d = self.distance(i, target)
+            if best_d is None or d < best_d or (d == best_d and i < best):
+                best, best_d = i, d
+        return best
+
+    def rank_by_distance(self, target: int, ids: Iterable[int]) -> List[int]:
+        """ids sorted by ascending circular distance to ``target``."""
+        return sorted(ids, key=lambda i: (self.distance(i, target), i))

@@ -1,0 +1,288 @@
+"""A Vitis participant.
+
+Each node composes the substrates exactly as the paper wires them
+(Alg. 1):
+
+- a gossip peer sampling service supplying fresh random descriptors;
+- a T-Man-style routing-table exchange (Alg. 2/3) whose selection function
+  is Alg. 4: successor + predecessor (ring), harmonic small-world links
+  (Symphony), and the top-utility friends (Eq. 1);
+- periodic profile exchange doubling as heartbeats (Alg. 6/7);
+- gateway election state (Alg. 5) and per-topic relay tables.
+
+Nodes are driven by :class:`repro.core.protocol.VitisProtocol`; they keep
+no references to the global population other than through the callables the
+protocol passes in, mirroring what a real deployment can know.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import VitisConfig
+from repro.core.gateway import GatewayState
+from repro.core.identifiers import IdSpace
+from repro.core.profile import NodeProfile
+from repro.core.relay import RelayTable
+from repro.core.routing_table import LinkKind, RoutingTable
+from repro.core.utility import UtilityFunction
+from repro.gossip.peer_sampling import PeerSamplingService
+from repro.gossip.view import Descriptor
+from repro.sim.node import BaseNode
+from repro.smallworld.ring import find_predecessor, find_successor
+from repro.smallworld.symphony import closest_to_target, draw_sw_target
+
+__all__ = ["VitisNode"]
+
+
+class VitisNode(BaseNode):
+    """One Vitis node: profile, routing table, sampling, election state."""
+
+    __slots__ = (
+        "config",
+        "space",
+        "profile",
+        "rt",
+        "ps",
+        "sampler_cls",
+        "gw_state",
+        "relay",
+        "utility",
+        "rng",
+        "n_estimate",
+        "seen_events",
+    )
+
+    def __init__(
+        self,
+        address: int,
+        node_id: int,
+        subscriptions,
+        config: VitisConfig,
+        space: IdSpace,
+        utility: UtilityFunction,
+        rng,
+        sampler_cls=PeerSamplingService,
+    ) -> None:
+        super().__init__(address)
+        self.config = config
+        self.space = space
+        self.utility = utility
+        self.rng = rng
+        self.profile = NodeProfile(address, node_id, subscriptions)
+        self.rt = RoutingTable(address, config.rt_size)
+        #: Peer sampling implementation — the paper notes any gossip
+        #: sampling service works; tests swap in Cyclon to verify.
+        self.sampler_cls = sampler_cls
+        self.ps = sampler_cls(address, node_id, config.peer_view_size, rng)
+        self.gw_state = GatewayState(address, node_id)
+        self.relay = RelayTable(address)
+        self.n_estimate = max(2, config.n_estimate)
+        #: Event ids already handled (duplicate suppression in the
+        #: message-level dissemination path).
+        self.seen_events: set = set()
+
+    @property
+    def node_id(self) -> int:
+        return self.profile.node_id
+
+    def descriptor(self) -> Descriptor:
+        return Descriptor(self.address, self.node_id, 0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (Alg. 1)
+    # ------------------------------------------------------------------
+    def join(self, bootstrap: List[Descriptor]) -> None:
+        """(Re)join the overlay from bootstrap descriptors.
+
+        A rejoin after a crash starts from amnesia: all protocol state is
+        rebuilt from scratch, as a restarted process would.
+        """
+        self.rt = RoutingTable(self.address, self.config.rt_size)
+        self.ps = self.sampler_cls(
+            self.address, self.node_id, self.config.peer_view_size, self.rng
+        )
+        self.ps.initialize(bootstrap)
+        self.gw_state.clear()
+        self.relay.clear()
+        self.seen_events.clear()
+        self.start()
+        # Seed the routing table immediately so the first T-Man exchange
+        # has somewhere to go (Alg. 1 line 3).
+        if bootstrap:
+            self._install_selection(
+                [d for d in bootstrap if d.address != self.address]
+            )
+
+    # ------------------------------------------------------------------
+    # Alg. 4 — selectNeighbors
+    # ------------------------------------------------------------------
+    def select_neighbors(
+        self,
+        candidates: List[Descriptor],
+        profile_of: Callable[[int], Optional[NodeProfile]],
+    ) -> List[Tuple[Descriptor, LinkKind]]:
+        """Pick the new routing table from a candidate buffer.
+
+        Order follows Alg. 4: successor, predecessor, ``n_sw_links``
+        harmonic small-world picks, then the top-utility friends.  Each
+        pick removes the candidate from the pool, so one neighbor fills at
+        most one slot.
+        """
+        pool: Dict[int, Descriptor] = {
+            d.address: d for d in candidates if d.address != self.address
+        }
+        selection: List[Tuple[Descriptor, LinkKind]] = []
+
+        succ = find_successor(self.space, self.node_id, pool.values())
+        if succ is not None:
+            selection.append((succ, LinkKind.SUCCESSOR))
+            del pool[succ.address]
+
+        pred = find_predecessor(self.space, self.node_id, pool.values())
+        if pred is not None:
+            selection.append((pred, LinkKind.PREDECESSOR))
+            del pool[pred.address]
+
+        for _ in range(self.config.n_sw_links):
+            if not pool:
+                break
+            target = draw_sw_target(self.space, self.node_id, self.rng, self.n_estimate)
+            pick = closest_to_target(self.space, target, pool.values())
+            if pick is None:
+                break
+            selection.append((pick, LinkKind.SW))
+            del pool[pick.address]
+
+        n_friends = self.config.rt_size - len(selection)
+        if n_friends > 0 and pool:
+            ranked = sorted(
+                pool.values(),
+                key=lambda d: (
+                    -self._utility_to(d.address, profile_of),
+                    d.age,
+                    d.address,
+                ),
+            )
+            for d in ranked[:n_friends]:
+                selection.append((d, LinkKind.FRIEND))
+
+        return selection
+
+    def _utility_to(
+        self, address: int, profile_of: Callable[[int], Optional[NodeProfile]]
+    ) -> float:
+        other = profile_of(address)
+        if other is None:
+            return 0.0
+        return self.utility(self.profile, other)
+
+    def _install_selection(self, candidates, profile_of=None) -> None:
+        profile_of = profile_of or (lambda a: None)
+        self.rt.replace(self.select_neighbors(list(candidates), profile_of))
+
+    # ------------------------------------------------------------------
+    # Alg. 2/3 — routing-table exchange
+    # ------------------------------------------------------------------
+    def exchange_buffer(self) -> List[Descriptor]:
+        """Alg. 2 lines 3-4: fresh samples merged with the routing table."""
+        pool: Dict[int, Descriptor] = {}
+        for d in self.ps.sample(self.config.sample_size):
+            pool[d.address] = d.copy()
+        for e in self.rt:
+            cur = pool.get(e.address)
+            if cur is None or e.age < cur.age:
+                pool[e.address] = Descriptor(e.address, e.node_id, e.age)
+        pool.pop(self.address, None)
+        return list(pool.values())
+
+    def tman_step(
+        self,
+        node_of: Callable[[int], Optional["VitisNode"]],
+        is_alive: Callable[[int], bool],
+        profile_of: Callable[[int], Optional[NodeProfile]],
+    ) -> Optional[int]:
+        """One active T-Man exchange (Alg. 2); the peer's passive side
+        (Alg. 3) runs in the same call.  Returns the peer exchanged with.
+        """
+        peer_addr = self._pick_exchange_peer(is_alive)
+        if peer_addr is None:
+            return None
+        peer = node_of(peer_addr)
+        if peer is None or not peer.alive:
+            self.rt.remove(peer_addr)
+            return None
+
+        mine = self.exchange_buffer() + [self.descriptor()]
+        theirs = peer.exchange_buffer() + [peer.descriptor()]
+
+        self._install_selection(_merge_unique(mine + theirs, self.address), profile_of)
+        peer._install_selection(_merge_unique(theirs + mine, peer.address), profile_of)
+        return peer_addr
+
+    def _pick_exchange_peer(self, is_alive: Callable[[int], bool]) -> Optional[int]:
+        """A uniformly random live routing-table neighbor; fall back to the
+        sampling view while the table is still empty (fresh join)."""
+        addrs = self.rt.addresses
+        self.rng.shuffle(addrs)
+        for a in addrs:
+            if is_alive(a):
+                return a
+            self.rt.remove(a)
+        sample = self.ps.sample(1)
+        if sample and is_alive(sample[0].address):
+            return sample[0].address
+        return None
+
+    # ------------------------------------------------------------------
+    # Alg. 6/7 — profile exchange / heartbeats
+    # ------------------------------------------------------------------
+    def heartbeat_step(self, is_alive: Callable[[int], bool]) -> List[int]:
+        """Age neighbors; evict those silent past the staleness threshold.
+        Returns evicted addresses."""
+        return self.rt.age_and_evict(is_alive, self.config.staleness_threshold)
+
+    # ------------------------------------------------------------------
+    # Message-level path (reference dissemination)
+    # ------------------------------------------------------------------
+    def on_message(self, msg) -> None:
+        """Dispatch notifications to the active dissemination run.
+
+        The message-level dissemination (reference path) installs itself
+        as ``notification_sink`` on the network; outside such a run
+        notifications are ignored.
+        """
+        from repro.sim.messages import Notification
+
+        sink = getattr(self.network, "notification_sink", None)
+        if sink is not None and isinstance(msg, Notification):
+            sink.on_notification(self, msg)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (analysis & tests)
+    # ------------------------------------------------------------------
+    def interested_neighbors(
+        self, topic: int, profile_of: Callable[[int], Optional[NodeProfile]]
+    ) -> List[int]:
+        """Routing-table neighbors subscribed to ``topic``."""
+        out = []
+        for e in self.rt:
+            p = profile_of(e.address)
+            if p is not None and p.subscribes_to(topic):
+                out.append(e.address)
+        return out
+
+    def degree(self) -> int:
+        return len(self.rt)
+
+
+def _merge_unique(descriptors: List[Descriptor], self_addr: int) -> List[Descriptor]:
+    """Unique-per-address candidate list, freshest wins, self excluded."""
+    pool: Dict[int, Descriptor] = {}
+    for d in descriptors:
+        if d.address == self_addr:
+            continue
+        cur = pool.get(d.address)
+        if cur is None or d.age < cur.age:
+            pool[d.address] = d
+    return list(pool.values())

@@ -1,0 +1,460 @@
+"""System-level protocol orchestration.
+
+:class:`OverlayProtocolBase` owns everything a running overlay needs — the
+engine, the network, the id space, profiles, the subscription index, and
+the per-cycle driver — and exposes the operations every pub/sub system in
+this repository shares (join/leave, lookup, publish, measurement).  The
+three systems of the paper specialise it:
+
+- :class:`VitisProtocol` (here) — the paper's contribution;
+- :class:`repro.baselines.rvr.RvrProtocol` — structured rendezvous routing;
+- :class:`repro.baselines.opt.OptProtocol` — overlay-per-topic.
+
+Cycle semantics follow PeerSim's cycle-driven model: each cycle every live
+node executes, in a freshly shuffled order, (1) a peer-sampling exchange,
+(2) a T-Man routing-table exchange, (3) a profile/heartbeat round; Vitis
+additionally runs (4) a gateway-election round and (5) relay-path
+installation.  For static-topology experiments, steps 4–5 can be deferred
+to a single :meth:`VitisProtocol.finalize` call after convergence — the
+fixed point is identical and the warm-up runs an order of magnitude
+faster (an optimisation the guides' "profile first" workflow motivated).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Union
+
+from repro.core.config import VitisConfig
+from repro.core.gateway import elect_round
+from repro.core.identifiers import IdSpace
+from repro.core.node import VitisNode
+from repro.core.profile import NodeProfile
+from repro.core.relay import RelayStats, install_path
+from repro.core.utility import PublicationRates, UtilityFunction
+from repro.gossip.view import Descriptor
+from repro.sim.engine import CycleDriver, Engine
+from repro.sim.metrics import DisseminationRecord
+from repro.sim.network import Network
+from repro.sim.rng import SeedTree
+from repro.smallworld.routing import LookupResult, greedy_route
+
+__all__ = ["OverlayProtocolBase", "VitisProtocol"]
+
+SubscriptionMap = Union[Mapping[int, Iterable[int]], Sequence[Iterable[int]]]
+
+
+class OverlayProtocolBase:
+    """Shared machinery for Vitis and both baselines.
+
+    Parameters
+    ----------
+    subscriptions:
+        Either a sequence (address = index) or a mapping ``address →
+        iterable of topic ids``.
+    config:
+        Protocol parameters (baselines reuse the relevant subset).
+    seed:
+        Root seed; all randomness derives from it.
+    rates:
+        Publication rates; defaults to uniform over the topic universe.
+    n_topics:
+        Size of the topic universe; inferred from subscriptions/rates when
+        omitted.
+    auto_start:
+        Join every node immediately (the static-population experiments).
+        Churn experiments pass False and drive joins from the schedule.
+    utility:
+        Preference-function override (e.g.
+        :class:`repro.core.proximity.ProximityUtility`); defaults to the
+        paper's Eq. 1 over ``rates``.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        subscriptions: SubscriptionMap,
+        config: VitisConfig = VitisConfig(),
+        seed: int = 0,
+        rates: Optional[PublicationRates] = None,
+        n_topics: Optional[int] = None,
+        auto_start: bool = True,
+        utility: Optional[UtilityFunction] = None,
+    ) -> None:
+        self.config = config
+        self.space = IdSpace()
+        self.seeds = SeedTree(seed)
+        self.engine = Engine()
+        self.network = Network(self.engine)
+        self.driver = CycleDriver(self.engine, self._cycle_step, config.gossip_period)
+
+        subs = _normalize_subscriptions(subscriptions)
+        if n_topics is None:
+            max_topic = max((t for s in subs.values() for t in s), default=-1)
+            if rates is not None:
+                max_topic = max(max_topic, rates.n_topics - 1)
+            n_topics = max_topic + 1
+        self.n_topics = n_topics
+        self.rates = rates if rates is not None else PublicationRates.uniform(max(1, n_topics))
+        self.utility = (
+            utility
+            if utility is not None
+            else UtilityFunction(self.rates, config.rate_weighted_utility)
+        )
+        #: Optional ``(src, dst) -> float`` link-cost hook; when set,
+        #: dissemination accumulates the physical cost of every message
+        #: (see repro.core.proximity).
+        self.link_cost = None
+
+        self._topic_ids: Dict[int, int] = {}
+        self.sub_index: Dict[int, Set[int]] = defaultdict(set)
+        self.nodes: Dict[int, VitisNode] = {}
+        self._rng = self.seeds.pyrandom("protocol")
+        #: Bumped every cycle; caches keyed on it (cluster adjacency etc.).
+        self.topology_version = 0
+        self._event_counter = 0
+        self.relay_stats = RelayStats()
+
+        for address in sorted(subs):
+            node = self._make_node(address, subs[address])
+            self.network.add(node)
+            self.nodes[address] = node
+            for t in node.profile.subscriptions:
+                self.sub_index[t].add(address)
+
+        if auto_start:
+            for address in sorted(self.nodes):
+                self.join(address)
+
+    # ------------------------------------------------------------------
+    # Node construction (hook)
+    # ------------------------------------------------------------------
+    def _make_node(self, address: int, subscriptions: FrozenSet[int]) -> VitisNode:
+        return VitisNode(
+            address,
+            self.space.node_id(address),
+            subscriptions,
+            self.config,
+            self.space,
+            self.utility,
+            self.seeds.pyrandom("node", address),
+        )
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def is_alive(self, address: int) -> bool:
+        n = self.nodes.get(address)
+        return n is not None and n.alive
+
+    def profile_of(self, address: int) -> Optional[NodeProfile]:
+        """Last-known profile of a node (stale for dead nodes, by design)."""
+        n = self.nodes.get(address)
+        return n.profile if n is not None else None
+
+    def live_addresses(self) -> List[int]:
+        return [a for a, n in self.nodes.items() if n.alive]
+
+    def live_count(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.alive)
+
+    def topic_id(self, topic: int) -> int:
+        tid = self._topic_ids.get(topic)
+        if tid is None:
+            tid = self.space.topic_id(topic)
+            self._topic_ids[topic] = tid
+        return tid
+
+    def subscribers(self, topic: int, live_only: bool = True) -> Set[int]:
+        """Addresses subscribed to ``topic`` (live ones by default)."""
+        subs = self.sub_index.get(topic, set())
+        if not live_only:
+            return set(subs)
+        return {a for a in subs if self.is_alive(a)}
+
+    def topics(self) -> List[int]:
+        """All topics with at least one subscriber, ascending."""
+        return sorted(t for t, s in self.sub_index.items() if s)
+
+    def bootstrap_descriptors(self, k: int, exclude: int) -> List[Descriptor]:
+        """``k`` random live descriptors — what a bootstrap server hands a
+        joining node (Alg. 1 line 3)."""
+        live = [a for a in self.live_addresses() if a != exclude]
+        if len(live) > k:
+            live = self._rng.sample(live, k)
+        return [self.nodes[a].descriptor() for a in live]
+
+    def join(self, address: int) -> None:
+        """Bring a node online and bootstrap it."""
+        node = self.nodes[address]
+        seeds = self.bootstrap_descriptors(self.config.peer_view_size, address)
+        node.join(seeds)
+        self.topology_version += 1
+
+    def leave(self, address: int) -> None:
+        """Take a node offline (crash semantics: no goodbye messages)."""
+        self.nodes[address].stop()
+        self.topology_version += 1
+
+    # ------------------------------------------------------------------
+    # Subscriptions at runtime
+    # ------------------------------------------------------------------
+    def subscribe(self, address: int, topic: int) -> None:
+        if self.nodes[address].profile.subscribe(topic):
+            self.sub_index[topic].add(address)
+
+    def unsubscribe(self, address: int, topic: int) -> None:
+        if self.nodes[address].profile.unsubscribe(topic):
+            self.sub_index[topic].discard(address)
+
+    # ------------------------------------------------------------------
+    # Cycles
+    # ------------------------------------------------------------------
+    def run_cycles(self, n: int) -> None:
+        """Advance ``n`` gossip cycles (engine events interleave)."""
+        self.driver.run_cycles(n)
+
+    @property
+    def cycle(self) -> int:
+        return self.driver.cycle
+
+    def _cycle_step(self, cycle: int) -> None:
+        self.topology_version += 1
+        live = [self.nodes[a] for a in self.live_addresses()]
+        self._rng.shuffle(live)
+        self._protocol_round(cycle, live)
+
+    def _protocol_round(self, cycle: int, live: List[VitisNode]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def lookup(self, start: int, target_id: int) -> LookupResult:
+        """Greedy lookup from ``start`` toward ``target_id`` over the
+        current routing tables."""
+        node = self.nodes[start]
+        return greedy_route(
+            self.space,
+            target_id,
+            start,
+            node.node_id,
+            neighbors_of=lambda a: self.nodes[a].rt.links(),
+            is_alive=self.is_alive,
+            max_hops=self.config.max_lookup_hops,
+        )
+
+    def rendezvous_of(self, topic: int) -> Optional[int]:
+        """Ground truth: the live node circularly closest to hash(topic)."""
+        live = self.live_addresses()
+        if not live:
+            return None
+        tid = self.topic_id(topic)
+        return min(live, key=lambda a: (self.space.distance(self.nodes[a].node_id, tid), a))
+
+    # ------------------------------------------------------------------
+    # Publishing (strategy hook)
+    # ------------------------------------------------------------------
+    def publish(self, topic: int, publisher: int) -> DisseminationRecord:
+        """Publish one event and return its dissemination record."""
+        self._event_counter += 1
+        return self._disseminate(topic, publisher, self._event_counter)
+
+    def _disseminate(
+        self, topic: int, publisher: int, event_id: int
+    ) -> DisseminationRecord:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def overlay_edges(self) -> List[tuple]:
+        """Directed routing-table edges among live nodes."""
+        edges = []
+        for a in self.live_addresses():
+            for baddr, _ in self.nodes[a].rt.links():
+                edges.append((a, baddr))
+        return edges
+
+    def successor_map(self) -> Dict[int, Optional[int]]:
+        """address → successor address (for ring-convergence checks)."""
+        out: Dict[int, Optional[int]] = {}
+        for a in self.live_addresses():
+            succ = self.nodes[a].rt.successor()
+            out[a] = succ.address if succ is not None else None
+        return out
+
+    def ids_by_address(self) -> Dict[int, int]:
+        return {a: self.nodes[a].node_id for a in self.live_addresses()}
+
+
+class VitisProtocol(OverlayProtocolBase):
+    """A complete Vitis system (paper section III).
+
+    Attributes
+    ----------
+    election_every:
+        Run a gateway-election round every ``n`` cycles (1 = every cycle,
+        the faithful setting used under churn; 0 = only via
+        :meth:`finalize`, the fast path for static topologies).
+    relay_every:
+        Same for relay-path installation.
+    """
+
+    name = "vitis"
+
+    def __init__(
+        self,
+        *args,
+        election_every: int = 1,
+        relay_every: int = 1,
+        sampler_cls=None,
+        **kwargs,
+    ):
+        self._sampler_cls = sampler_cls
+        super().__init__(*args, **kwargs)
+        self.election_every = election_every
+        self.relay_every = relay_every
+        self._cluster_cache: Dict[int, tuple] = {}
+
+    def _make_node(self, address: int, subscriptions: FrozenSet[int]) -> VitisNode:
+        node = super()._make_node(address, subscriptions)
+        if self._sampler_cls is not None:
+            node.sampler_cls = self._sampler_cls
+            node.ps = self._sampler_cls(
+                node.address, node.node_id, self.config.peer_view_size, node.rng
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # One cycle (Alg. 1 line 5-7 over the population)
+    # ------------------------------------------------------------------
+    def _protocol_round(self, cycle: int, live: List[VitisNode]) -> None:
+        ps_registry = {n.address: n.ps for n in self.nodes.values() if n.alive}
+        n_live = max(2, len(live))
+        for node in live:
+            node.n_estimate = n_live
+            node.ps.step(ps_registry, self.is_alive)
+        for node in live:
+            node.tman_step(self.nodes.get, self.is_alive, self.profile_of)
+        for node in live:
+            node.heartbeat_step(self.is_alive)
+        if self.election_every and (cycle % self.election_every == 0):
+            self.election_round()
+        if self.relay_every and (cycle % self.relay_every == 0):
+            self.install_relays()
+
+    # ------------------------------------------------------------------
+    # Gateway election (Alg. 5, two-phase so all nodes read round t-1)
+    # ------------------------------------------------------------------
+    def election_round(self) -> None:
+        results = {}
+        for a in self.live_addresses():
+            node = self.nodes[a]
+            results[a] = elect_round(
+                self.space,
+                node.gw_state,
+                node.profile.subscriptions,
+                node.rt,
+                neighbor_subscriptions=self._neighbor_subs,
+                neighbor_proposal=self._neighbor_proposal,
+                topic_ids=self.topic_id,
+                depth=self.config.gateway_depth,
+            )
+        for a, proposals in results.items():
+            self.nodes[a].gw_state.proposals = proposals
+
+    def _neighbor_subs(self, address: int) -> FrozenSet[int]:
+        p = self.profile_of(address)
+        return p.subscriptions if p is not None else frozenset()
+
+    def _neighbor_proposal(self, address: int, topic: int):
+        n = self.nodes.get(address)
+        return n.gw_state.get(topic) if n is not None else None
+
+    def gateways_of(self, topic: int) -> List[int]:
+        """Live nodes currently considering themselves gateway for topic."""
+        out = []
+        for a in self.sub_index.get(topic, ()):
+            n = self.nodes[a]
+            if n.alive:
+                p = n.gw_state.get(topic)
+                if p is not None and p.gw_addr == a:
+                    out.append(a)
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # Relay paths (Alg. 5 line 21 + section III-B)
+    # ------------------------------------------------------------------
+    def install_relays(self, topics: Optional[Iterable[int]] = None) -> RelayStats:
+        """Clear and rebuild the relay trees from the current gateways.
+
+        Returns the accumulated :class:`RelayStats` for this installation.
+        """
+        if topics is None:
+            topics = self.topics()
+        else:
+            topics = list(topics)
+        for n in self.nodes.values():
+            n.relay.clear()
+        self.relay_stats.reset()
+        tables = {a: n.relay for a, n in self.nodes.items()}
+        for topic in topics:
+            tid = self.topic_id(topic)
+            for gw in self.gateways_of(topic):
+                lr = self.lookup(gw, tid)
+                install_path(topic, lr, tables, self.relay_stats)
+        self.topology_version += 1
+        return self.relay_stats
+
+    def finalize(self, election_rounds: Optional[int] = None) -> None:
+        """Converge the election and install relay paths once.
+
+        Proposals spread one hop per round, so ``gateway_depth + 1`` rounds
+        reach the Alg. 5 fixed point on a static topology.
+        """
+        rounds = election_rounds or (self.config.gateway_depth + 1)
+        for _ in range(rounds):
+            self.election_round()
+        self.install_relays()
+
+    # ------------------------------------------------------------------
+    # Dissemination
+    # ------------------------------------------------------------------
+    def _disseminate(self, topic: int, publisher: int, event_id: int) -> DisseminationRecord:
+        from repro.core.dissemination import disseminate
+
+        return disseminate(self, topic, publisher, event_id)
+
+    def cluster_adjacency(self, topic: int) -> Dict[int, Set[int]]:
+        """Symmetric adjacency among the live subscribers of ``topic``.
+
+        ``u — v`` iff either has the other in its routing table: profile
+        messages flow along routing-table edges, so both endpoints know of
+        each other and of their shared interest, and either can notify the
+        other.  Cached per topology version.
+        """
+        cached = self._cluster_cache.get(topic)
+        if cached is not None and cached[0] == self.topology_version:
+            return cached[1]
+        members = self.subscribers(topic)
+        adj: Dict[int, Set[int]] = {a: set() for a in members}
+        for a in members:
+            for baddr, _ in self.nodes[a].rt.links():
+                if baddr in adj:
+                    adj[a].add(baddr)
+                    adj[baddr].add(a)
+        self._cluster_cache[topic] = (self.topology_version, adj)
+        return adj
+
+
+def _normalize_subscriptions(subscriptions: SubscriptionMap) -> Dict[int, FrozenSet[int]]:
+    if isinstance(subscriptions, Mapping):
+        items = subscriptions.items()
+    else:
+        items = enumerate(subscriptions)
+    out = {int(a): frozenset(int(t) for t in subs) for a, subs in items}
+    if not out:
+        raise ValueError("need at least one node")
+    return out

@@ -1,0 +1,167 @@
+"""The bounded Vitis routing table.
+
+Each entry is a neighbor descriptor tagged with its *link kind*:
+
+- ``PREDECESSOR`` / ``SUCCESSOR`` — the two ring links that give lookup
+  consistency;
+- ``SW`` — Symphony-style long links that give navigability;
+- ``FRIEND`` — similarity links chosen by the Eq. 1 utility, which form
+  the per-topic clusters.
+
+Entries carry a heartbeat age: reset when the neighbor's profile message
+arrives (the neighbor is alive), incremented otherwise; entries older than
+the staleness threshold are evicted (paper Alg. 6/7 and section III-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.gossip.view import Descriptor
+
+__all__ = ["LinkKind", "RTEntry", "RoutingTable"]
+
+
+class LinkKind(enum.Enum):
+    """Why a neighbor is in the routing table."""
+
+    PREDECESSOR = "predecessor"
+    SUCCESSOR = "successor"
+    SW = "sw"
+    FRIEND = "friend"
+
+
+class RTEntry:
+    """One routing-table slot: descriptor + link kind + heartbeat age."""
+
+    __slots__ = ("descriptor", "kind", "age")
+
+    def __init__(self, descriptor: Descriptor, kind: LinkKind, age: int = 0) -> None:
+        self.descriptor = descriptor
+        self.kind = kind
+        self.age = age
+
+    @property
+    def address(self) -> int:
+        return self.descriptor.address
+
+    @property
+    def node_id(self) -> int:
+        return self.descriptor.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RTEntry({self.descriptor!r}, {self.kind.value}, age={self.age})"
+
+
+class RoutingTable:
+    """Bounded map address → :class:`RTEntry`.
+
+    The table never contains the owner and holds at most one entry per
+    address; when a selection assigns several kinds to the same neighbor
+    (e.g. the successor is also the best friend), the structural kind wins
+    and the freed slot goes to the next candidate — handled by the
+    selection logic in :mod:`repro.core.node`, not here.
+    """
+
+    __slots__ = ("owner", "max_size", "_entries")
+
+    def __init__(self, owner: int, max_size: int) -> None:
+        if max_size < 1:
+            raise ValueError("routing table size must be >= 1")
+        self.owner = owner
+        self.max_size = max_size
+        self._entries: Dict[int, RTEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._entries
+
+    def __iter__(self) -> Iterator[RTEntry]:
+        return iter(self._entries.values())
+
+    def get(self, address: int) -> Optional[RTEntry]:
+        return self._entries.get(address)
+
+    @property
+    def addresses(self) -> List[int]:
+        return list(self._entries)
+
+    def entries(self) -> List[RTEntry]:
+        return list(self._entries.values())
+
+    def descriptors(self) -> List[Descriptor]:
+        return [e.descriptor for e in self._entries.values()]
+
+    def links(self) -> List[Tuple[int, int]]:
+        """(address, node_id) pairs — the shape greedy routing consumes."""
+        return [(e.descriptor.address, e.descriptor.node_id) for e in self._entries.values()]
+
+    def by_kind(self, kind: LinkKind) -> List[RTEntry]:
+        return [e for e in self._entries.values() if e.kind is kind]
+
+    def successor(self) -> Optional[RTEntry]:
+        for e in self._entries.values():
+            if e.kind is LinkKind.SUCCESSOR:
+                return e
+        return None
+
+    def predecessor(self) -> Optional[RTEntry]:
+        for e in self._entries.values():
+            if e.kind is LinkKind.PREDECESSOR:
+                return e
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def replace(self, selection: List[Tuple[Descriptor, LinkKind]]) -> None:
+        """Install a fresh selection (the output of Alg. 4).
+
+        Ages of retained neighbors are preserved so that staleness
+        detection is not reset by reselection.
+        """
+        if len(selection) > self.max_size:
+            raise ValueError(f"selection of {len(selection)} exceeds max {self.max_size}")
+        new: Dict[int, RTEntry] = {}
+        for desc, kind in selection:
+            if desc.address == self.owner:
+                raise ValueError("routing table must not contain the owner")
+            if desc.address in new:
+                raise ValueError(f"duplicate neighbor {desc.address} in selection")
+            old = self._entries.get(desc.address)
+            age = old.age if old is not None else desc.age
+            new[desc.address] = RTEntry(desc.copy(), kind, age)
+        self._entries = new
+
+    def remove(self, address: int) -> bool:
+        return self._entries.pop(address, None) is not None
+
+    def heartbeat(self, address: int) -> None:
+        """Record a profile message from ``address`` (age back to 0)."""
+        e = self._entries.get(address)
+        if e is not None:
+            e.age = 0
+
+    def age_and_evict(self, is_alive, threshold: int) -> List[int]:
+        """One heartbeat round: neighbors that answered get age 0, silent
+        ones age by 1; entries over ``threshold`` are evicted.
+
+        ``is_alive(address)`` stands in for "a profile message came back
+        this period".  Returns the evicted addresses.
+        """
+        evicted = []
+        for addr, e in list(self._entries.items()):
+            if is_alive(addr):
+                e.age = 0
+            else:
+                e.age += 1
+                if e.age > threshold:
+                    del self._entries[addr]
+                    evicted.append(addr)
+        return evicted

@@ -1,0 +1,47 @@
+"""The experiment harness: one scenario per paper figure.
+
+- :mod:`repro.experiments.runner` — build/converge/measure primitives
+  shared by all scenarios.
+- :mod:`repro.experiments.scenarios` — ``fig4`` … ``fig12`` plus the
+  ablations from DESIGN.md; each returns plain row dicts with the same
+  axes as the paper figure.
+- :mod:`repro.experiments.reporting` — text tables and CSV emission.
+
+Scale: every scenario takes explicit sizes with defaults chosen so the
+whole suite finishes on one machine; set the ``REPRO_SCALE`` environment
+variable (e.g. ``REPRO_SCALE=4``) to multiply node counts toward the
+paper's 10,000.
+"""
+
+import os
+
+from repro.experiments.runner import (
+    build_opt,
+    build_rvr,
+    build_vitis,
+    converge,
+    measure,
+)
+from repro.experiments.reporting import format_table, rows_to_csv
+
+__all__ = [
+    "build_opt",
+    "build_rvr",
+    "build_vitis",
+    "converge",
+    "format_table",
+    "measure",
+    "rows_to_csv",
+    "scale",
+    "scaled",
+]
+
+
+def scale() -> float:
+    """The global scale multiplier from ``REPRO_SCALE`` (default 1)."""
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    """``n`` multiplied by the global scale, floored at ``minimum``."""
+    return max(minimum, int(round(n * scale())))

@@ -1,0 +1,103 @@
+"""Markdown report generation.
+
+Turns scenario outputs into an EXPERIMENTS.md-style markdown document:
+one section per figure with the paper's expected shape, the measured
+table, and the run parameters.  ``python -m repro`` writes plain tables;
+this module is for producing a durable record (the checked-in
+``EXPERIMENTS.md`` was assembled from these pieces plus hand-written
+shape commentary).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import rows_to_csv
+
+__all__ = ["Section", "render_markdown_table", "build_report"]
+
+
+def render_markdown_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Rows as a GitHub-markdown table."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(v):
+        return f"{v:.3f}" if isinstance(v, float) else str(v)
+
+    lines = ["| " + " | ".join(str(c) for c in columns) + " |"]
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for r in rows:
+        lines.append("| " + " | ".join(fmt(r.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+class Section:
+    """One report section: a titled scenario run."""
+
+    def __init__(
+        self,
+        title: str,
+        scenario: Callable[..., List[Dict]],
+        expectation: str = "",
+        columns: Optional[Sequence[str]] = None,
+        **kwargs,
+    ) -> None:
+        self.title = title
+        self.scenario = scenario
+        self.expectation = expectation
+        self.columns = columns
+        self.kwargs = kwargs
+        self.rows: Optional[List[Dict]] = None
+        self.elapsed: float = 0.0
+
+    def run(self) -> "Section":
+        t0 = time.time()
+        self.rows = self.scenario(**self.kwargs)
+        self.elapsed = time.time() - t0
+        return self
+
+    def to_markdown(self) -> str:
+        parts = [f"## {self.title}", ""]
+        if self.expectation:
+            parts += [f"*Expected shape:* {self.expectation}", ""]
+        if self.rows is None:
+            parts.append("*(not run)*")
+        else:
+            parts.append(render_markdown_table(self.rows, self.columns))
+            params = ", ".join(f"{k}={v}" for k, v in sorted(self.kwargs.items()))
+            parts += ["", f"*Parameters:* {params or 'defaults'} — {self.elapsed:.1f}s."]
+        return "\n".join(parts)
+
+
+def build_report(
+    sections: Sequence[Section],
+    title: str = "Reproduction report",
+    preamble: str = "",
+    csv_dir: Optional[str] = None,
+) -> str:
+    """Run every section and assemble the markdown document.
+
+    With ``csv_dir``, each section's raw rows are also written to
+    ``<csv_dir>/<slug>.csv``.
+    """
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts += [preamble, ""]
+    for section in sections:
+        if section.rows is None:
+            section.run()
+        parts += [section.to_markdown(), ""]
+        if csv_dir is not None and section.rows:
+            import os
+
+            slug = "".join(
+                ch if ch.isalnum() else "-" for ch in section.title.lower()
+            ).strip("-")
+            path = os.path.join(csv_dir, f"{slug}.csv")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(rows_to_csv(section.rows))
+    return "\n".join(parts)

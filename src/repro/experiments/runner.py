@@ -1,0 +1,177 @@
+"""Build / converge / measure primitives for the scenarios.
+
+The standard static-topology pipeline is:
+
+1. **build** the protocol with elections and relay installation deferred
+   (their fixed point does not depend on when they run on a static
+   topology, and deferring them makes warm-up an order of magnitude
+   faster);
+2. **converge** the topology: run gossip cycles until the ring invariant
+   holds (the paper's lookup-consistency precondition), bounded by a cap;
+3. **finalize**: run the gateway election to its fixed point and install
+   the relay paths once;
+4. **measure**: publish events on rate-weighted random topics from
+   uniformly random subscriber publishers and aggregate the three metrics.
+
+Churn scenarios skip the deferral and run the full protocol every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.baselines.opt import OptProtocol
+from repro.baselines.rvr import RvrProtocol
+from repro.core.config import VitisConfig
+from repro.core.protocol import VitisProtocol
+from repro.core.utility import PublicationRates
+from repro.sim.metrics import MetricsCollector, restrict_record
+from repro.smallworld.ring import is_ring_converged
+from repro.workloads.publication import sample_topics
+
+__all__ = ["build_vitis", "build_rvr", "build_opt", "converge", "measure"]
+
+#: Gossip cycles between ring-convergence checks during warm-up.
+CONVERGE_CHUNK = 10
+
+
+def converge(protocol, min_cycles: int = 30, max_cycles: int = 120) -> int:
+    """Run gossip cycles until the ring converges (or the cap is hit).
+
+    Returns the total cycles run.  OPT has no ring; its warm-up is plain
+    ``run_cycles`` (see :func:`build_opt`).
+    """
+    protocol.run_cycles(min_cycles)
+    cycles = min_cycles
+    while cycles < max_cycles:
+        if is_ring_converged(protocol.ids_by_address(), protocol.successor_map()):
+            break
+        protocol.run_cycles(CONVERGE_CHUNK)
+        cycles += CONVERGE_CHUNK
+    return cycles
+
+
+def build_vitis(
+    subscriptions,
+    config: VitisConfig = VitisConfig(),
+    seed: int = 0,
+    rates: Optional[PublicationRates] = None,
+    min_cycles: int = 30,
+    max_cycles: int = 120,
+    sampler_cls=None,
+    utility=None,
+) -> VitisProtocol:
+    """A converged, relay-installed Vitis system ready for measurement."""
+    p = VitisProtocol(
+        subscriptions,
+        config,
+        seed=seed,
+        rates=rates,
+        election_every=0,
+        relay_every=0,
+        sampler_cls=sampler_cls,
+        utility=utility,
+    )
+    converge(p, min_cycles, max_cycles)
+    p.finalize()
+    return p
+
+
+def build_rvr(
+    subscriptions,
+    config: VitisConfig = VitisConfig(),
+    seed: int = 0,
+    rates: Optional[PublicationRates] = None,
+    min_cycles: int = 30,
+    max_cycles: int = 120,
+) -> RvrProtocol:
+    """A converged RVR system with all subscriber trees installed."""
+    p = RvrProtocol(subscriptions, config, seed=seed, rates=rates, relay_every=0)
+    converge(p, min_cycles, max_cycles)
+    p.finalize()
+    return p
+
+
+def build_opt(
+    subscriptions,
+    config: VitisConfig = VitisConfig(),
+    seed: int = 0,
+    rates: Optional[PublicationRates] = None,
+    cycles: int = 40,
+    max_degree: Optional[int] = -1,
+    coverage: int = 2,
+) -> OptProtocol:
+    """A warmed-up OPT system (bounded by default; ``max_degree=None``
+    for the unbounded Fig. 11 variant)."""
+    p = OptProtocol(
+        subscriptions,
+        config,
+        seed=seed,
+        rates=rates,
+        max_degree=max_degree,
+        coverage=coverage,
+    )
+    p.run_cycles(cycles)
+    return p
+
+
+def measure(
+    protocol,
+    n_events: int,
+    seed: int = 0,
+    publisher: str = "subscriber",
+    collector: Optional[MetricsCollector] = None,
+    min_join_age: float = 0.0,
+    topics: Optional[Iterable[int]] = None,
+) -> MetricsCollector:
+    """Publish ``n_events`` and aggregate the metrics.
+
+    Parameters
+    ----------
+    publisher:
+        ``"subscriber"`` — a uniformly random live subscriber of the topic
+        (the synthetic experiments); ``"owner"`` — the node whose dense id
+        equals the topic id (the Twitter mapping: a user publishes on its
+        own topic).
+    min_join_age:
+        When positive, restrict the hit-ratio denominator to subscribers
+        that joined at least this many simulated seconds ago (the paper's
+        10-second rule).
+    topics:
+        Restrict the topic draw (default: every topic with a live
+        subscriber).
+    """
+    if publisher not in ("subscriber", "owner"):
+        raise ValueError(f"unknown publisher mode: {publisher!r}")
+    collector = collector if collector is not None else MetricsCollector()
+    rng = np.random.default_rng(seed)
+
+    candidates = [t for t in (topics if topics is not None else protocol.topics())
+                  if protocol.subscribers(t)]
+    if not candidates:
+        return collector
+    drawn = sample_topics(protocol.rates, n_events, rng, restrict=candidates)
+
+    now = protocol.engine.now
+    for topic in drawn:
+        subs = sorted(protocol.subscribers(topic))
+        if publisher == "owner":
+            pub = topic
+            if not protocol.is_alive(pub):
+                continue
+        else:
+            if not subs:
+                continue
+            pub = subs[int(rng.integers(len(subs)))]
+        rec = protocol.publish(topic, pub)
+        if min_join_age > 0:
+            eligible = [
+                a
+                for a in rec.subscribers
+                if protocol.nodes[a].joined_at <= now - min_join_age
+            ]
+            rec = restrict_record(rec, eligible)
+        collector.add(rec)
+    return collector

@@ -1,0 +1,24 @@
+"""Unstructured gossip substrate.
+
+- :mod:`repro.gossip.view` — node descriptors and bounded partial views
+  with age-based freshness (the common currency of all gossip protocols).
+- :mod:`repro.gossip.peer_sampling` — Newscast-style peer sampling service
+  (the paper's choice; "any implementation can be used").
+- :mod:`repro.gossip.cyclon` — Cyclon shuffle variant, for comparison and
+  robustness experiments.
+- :mod:`repro.gossip.tman` — T-Man topology construction: generic ranked
+  view exchange driven by a pluggable neighbor-selection function.
+"""
+
+from repro.gossip.view import Descriptor, PartialView
+from repro.gossip.peer_sampling import PeerSamplingService
+from repro.gossip.cyclon import CyclonService
+from repro.gossip.tman import TManService
+
+__all__ = [
+    "CyclonService",
+    "Descriptor",
+    "PartialView",
+    "PeerSamplingService",
+    "TManService",
+]

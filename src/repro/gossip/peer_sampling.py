@@ -1,0 +1,124 @@
+"""Newscast-style gossip peer sampling service.
+
+Every node keeps a small partial view of the network.  Once per cycle it
+picks a uniformly random peer from its view, both sides pool their views
+plus a fresh descriptor of themselves, and each keeps the ``view_size``
+freshest entries.  The emergent communication graph is close to a random
+graph, so :meth:`PeerSamplingService.sample` approximates uniform random
+sampling of the live population — the property Vitis, T-Man and both
+baselines build on (paper section III-A, reference [6]/[25]).
+
+Services are wired together through a *registry* (``address → service``)
+plus a liveness predicate, so they are independent of any particular node
+class.  Exchanges with dead peers fail like lost datagrams: the caller
+drops the peer from its view and retries next cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.gossip.view import Descriptor, PartialView
+
+__all__ = ["PeerSamplingService"]
+
+
+class PeerSamplingService:
+    """One node's endpoint of the Newscast protocol.
+
+    Parameters
+    ----------
+    address, node_id:
+        The owner's address and overlay id.
+    view_size:
+        Bound on the partial view (Newscast's ``c``; 20 by default, a
+        common setting in the literature).
+    rng:
+        Per-node ``random.Random``; all draws of this service come from it.
+    max_age:
+        Entries older than this many rounds are dropped outright: they
+        belong to nodes that stopped refreshing themselves — dead, or no
+        longer reachable — and would otherwise circulate forever.
+    """
+
+    __slots__ = (
+        "address",
+        "node_id",
+        "view",
+        "rng",
+        "max_age",
+        "exchanges",
+        "failed_exchanges",
+    )
+
+    def __init__(
+        self, address: int, node_id: int, view_size: int, rng, max_age: int = 10
+    ) -> None:
+        self.address = address
+        self.node_id = node_id
+        self.view = PartialView(view_size)
+        self.rng = rng
+        self.max_age = max_age
+        self.exchanges = 0
+        self.failed_exchanges = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def initialize(self, seeds: List[Descriptor]) -> None:
+        """Fill the view from bootstrap descriptors (e.g. from a well-known
+        bootstrap node, paper Alg. 1 line 3)."""
+        self.view.merge(seeds, exclude=self.address)
+        self.view.trim()
+
+    def descriptor(self) -> Descriptor:
+        """A fresh descriptor of this node (age 0)."""
+        return Descriptor(self.address, self.node_id, 0)
+
+    # ------------------------------------------------------------------
+    # Protocol step
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        registry: Dict[int, "PeerSamplingService"],
+        is_alive: Callable[[int], bool],
+    ) -> Optional[int]:
+        """One active Newscast round.  Returns the peer exchanged with.
+
+        The passive side's state is updated in the same call — gossip
+        exchanges are modelled as atomic within a cycle, the PeerSim
+        cycle-driven idiom.
+        """
+        self.view.age_all()
+        self.view.drop_older_than(self.max_age)
+        peer_desc = self.view.random_descriptor(self.rng)
+        if peer_desc is None:
+            return None
+        peer_addr = peer_desc.address
+        if not is_alive(peer_addr) or peer_addr not in registry:
+            # Failed exchange: the peer is gone; forget it.
+            self.view.remove(peer_addr)
+            self.failed_exchanges += 1
+            return None
+
+        peer = registry[peer_addr]
+        # Snapshot both sides before mutation so the exchange is symmetric.
+        mine = [d.copy() for d in self.view] + [self.descriptor()]
+        theirs = [d.copy() for d in peer.view] + [peer.descriptor()]
+
+        self.view.merge(theirs, exclude=self.address)
+        self.view.trim(self.rng)
+        peer.view.merge(mine, exclude=peer_addr)
+        peer.view.trim(peer.rng)
+        self.exchanges += 1
+        return peer_addr
+
+    # ------------------------------------------------------------------
+    # Sampling API (what T-Man and the overlays consume)
+    # ------------------------------------------------------------------
+    def sample(self, n: int) -> List[Descriptor]:
+        """Up to ``n`` approximately-uniform random descriptors."""
+        return self.view.sample(n, self.rng)
+
+    def known_addresses(self) -> List[int]:
+        return self.view.addresses

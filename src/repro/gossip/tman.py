@@ -1,0 +1,165 @@
+"""T-Man: gossip-based topology construction (Jelasity & Babaoglu, 2006).
+
+T-Man turns a peer sampling service into an arbitrary target topology: each
+node keeps a ranked view; once per cycle it exchanges views with a random
+neighbor, pools both views plus fresh random samples, and keeps the
+best-ranked entries.  The target topology is entirely encoded in the
+*selection function* — which is exactly how the paper composes things
+(Alg. 2/3 are the exchange skeleton, Alg. 4 is Vitis's selection function).
+
+:class:`TManService` implements the exchange skeleton generically.  Vitis,
+RVR and OPT each provide a selection function; tests exercise the skeleton
+with simple rankings (e.g. "closest ids first" converges to a ring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.gossip.view import Descriptor, PartialView
+
+__all__ = ["TManService", "SelectionFn"]
+
+# A selection function maps (service, candidate descriptors) to the new
+# view content, at most ``view_size`` entries.  Candidates never contain
+# the node itself and contain at most one descriptor per address.
+SelectionFn = Callable[["TManService", List[Descriptor]], List[Descriptor]]
+
+
+class TManService:
+    """One node's endpoint of the T-Man protocol.
+
+    Parameters
+    ----------
+    address, node_id:
+        Owner coordinates.
+    view_size:
+        Bound on the constructed view (the routing table size in Vitis).
+    select:
+        The topology-defining selection function (Alg. 4 slot).
+    sampler:
+        Callable returning fresh random descriptors from the peer sampling
+        service (Alg. 2 line 3, ``getSampleNodes``).
+    rng:
+        Per-node randomness for neighbor choice.
+    sample_size:
+        How many fresh random descriptors to pull in per exchange.
+    max_age:
+        Candidates older than this many rounds are excluded from selection:
+        their nodes stopped refreshing themselves (dead or unreachable),
+        and a ranking function that likes their ids would otherwise keep
+        them forever.
+    """
+
+    __slots__ = (
+        "address",
+        "node_id",
+        "view",
+        "select",
+        "sampler",
+        "rng",
+        "sample_size",
+        "max_age",
+        "exchanges",
+        "failed_exchanges",
+    )
+
+    def __init__(
+        self,
+        address: int,
+        node_id: int,
+        view_size: int,
+        select: SelectionFn,
+        sampler: Callable[[], List[Descriptor]],
+        rng,
+        sample_size: int = 10,
+        max_age: int = 20,
+    ) -> None:
+        self.address = address
+        self.node_id = node_id
+        self.view = PartialView(view_size)
+        self.select = select
+        self.sampler = sampler
+        self.rng = rng
+        self.sample_size = sample_size
+        self.max_age = max_age
+        self.exchanges = 0
+        self.failed_exchanges = 0
+
+    # ------------------------------------------------------------------
+    def initialize(self, seeds: List[Descriptor]) -> None:
+        """Adopt bootstrap descriptors and apply the selection once."""
+        self._reselect(self._buffer(extra=seeds))
+
+    def descriptor(self) -> Descriptor:
+        return Descriptor(self.address, self.node_id, 0)
+
+    def _buffer(self, extra: List[Descriptor] = ()) -> List[Descriptor]:
+        """Merged candidate buffer: own view + samples + extras; unique per
+        address, self excluded, freshest wins."""
+        pool: Dict[int, Descriptor] = {}
+        for d in list(self.view) + list(self.sampler()) + list(extra):
+            if d.address == self.address or d.age > self.max_age:
+                continue
+            cur = pool.get(d.address)
+            if cur is None or d.age < cur.age:
+                pool[d.address] = d.copy()
+        return list(pool.values())
+
+    def _reselect(self, candidates: List[Descriptor]) -> None:
+        chosen = self.select(self, candidates)
+        if len(chosen) > self.view.max_size:
+            raise ValueError(
+                f"selection returned {len(chosen)} > view size {self.view.max_size}"
+            )
+        self.view = PartialView(self.view.max_size, (d.copy() for d in chosen))
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        registry: Dict[int, "TManService"],
+        is_alive: Callable[[int], bool],
+    ) -> Optional[int]:
+        """One active T-Man exchange (paper Alg. 2); the chosen peer's
+        passive side (Alg. 3) runs in the same call."""
+        self.view.age_all()
+        peer_desc = self.view.random_descriptor(self.rng)
+        if peer_desc is None:
+            return None
+        peer_addr = peer_desc.address
+        if not is_alive(peer_addr) or peer_addr not in registry:
+            self.view.remove(peer_addr)
+            self.failed_exchanges += 1
+            return None
+
+        peer = registry[peer_addr]
+        # Alg. 2 lines 3-5 / Alg. 3 lines 2-5: both sides assemble
+        # buffer = samples + own RT (+ a fresh self descriptor, so the
+        # counterpart can link back).
+        mine = self._buffer(extra=[self.descriptor()])
+        theirs = peer._buffer(extra=[peer.descriptor()])
+
+        self._reselect(self._merge_buffers(mine, theirs))
+        peer._reselect(peer._merge_buffers(theirs, mine))
+        self.exchanges += 1
+        return peer_addr
+
+    def _merge_buffers(
+        self, own: List[Descriptor], received: List[Descriptor]
+    ) -> List[Descriptor]:
+        pool: Dict[int, Descriptor] = {}
+        for d in own + received:
+            if d.address == self.address or d.age > self.max_age:
+                continue
+            cur = pool.get(d.address)
+            if cur is None or d.age < cur.age:
+                pool[d.address] = d
+        return list(pool.values())
+
+    # ------------------------------------------------------------------
+    def neighbors(self) -> List[Descriptor]:
+        """Current constructed-topology neighbors."""
+        return self.view.descriptors()
+
+    def remove_neighbor(self, address: int) -> bool:
+        return self.view.remove(address)

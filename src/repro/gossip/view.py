@@ -1,0 +1,163 @@
+"""Node descriptors and bounded partial views.
+
+A :class:`Descriptor` is what gossip protocols trade: the address of a node,
+its overlay id, and an *age* counting gossip rounds since the information
+was fresh.  A :class:`PartialView` is a bounded collection of descriptors,
+at most one per address, that prefers fresh information when merging — the
+mechanism through which dead nodes eventually evaporate from the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["Descriptor", "PartialView"]
+
+
+class Descriptor:
+    """A pointer to a node as known by some other node.
+
+    Descriptors are immutable value objects except for ``age``, which is a
+    freshness counter: 0 means "heard from it this round".
+    """
+
+    __slots__ = ("address", "node_id", "age")
+
+    def __init__(self, address: int, node_id: int, age: int = 0) -> None:
+        self.address = address
+        self.node_id = node_id
+        self.age = age
+
+    def copy(self, age: Optional[int] = None) -> "Descriptor":
+        """A fresh copy, optionally with a different age."""
+        return Descriptor(self.address, self.node_id, self.age if age is None else age)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Descriptor)
+            and other.address == self.address
+            and other.node_id == self.node_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.node_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Descriptor(addr={self.address}, id={self.node_id:#x}, age={self.age})"
+
+
+class PartialView:
+    """A bounded set of descriptors, unique per address, freshest-wins.
+
+    The view does not itself enforce its bound on every mutation — gossip
+    protocols deliberately overfill a working buffer and then call
+    :meth:`trim` (keep freshest) or apply their own selection.
+    """
+
+    __slots__ = ("max_size", "_entries")
+
+    def __init__(self, max_size: int, entries: Iterable[Descriptor] = ()) -> None:
+        if max_size < 1:
+            raise ValueError("view size must be >= 1")
+        self.max_size = max_size
+        self._entries: Dict[int, Descriptor] = {}
+        for d in entries:
+            self.insert(d)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Descriptor]:
+        return iter(self._entries.values())
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._entries
+
+    def get(self, address: int) -> Optional[Descriptor]:
+        return self._entries.get(address)
+
+    @property
+    def addresses(self) -> List[int]:
+        return list(self._entries)
+
+    def descriptors(self) -> List[Descriptor]:
+        """A snapshot list of the current entries."""
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, desc: Descriptor) -> None:
+        """Insert a descriptor; if the address is known, keep the fresher
+        (lower-age) information."""
+        cur = self._entries.get(desc.address)
+        if cur is None or desc.age < cur.age:
+            self._entries[desc.address] = desc
+
+    def merge(self, descriptors: Iterable[Descriptor], exclude: int = -1) -> None:
+        """Insert many descriptors, skipping address ``exclude`` (a node
+        never keeps a descriptor of itself)."""
+        for d in descriptors:
+            if d.address != exclude:
+                self.insert(d)
+
+    def remove(self, address: int) -> bool:
+        """Drop the entry for ``address`` if present."""
+        return self._entries.pop(address, None) is not None
+
+    def age_all(self, by: int = 1) -> None:
+        """Increase every entry's age (a gossip round passed)."""
+        for d in self._entries.values():
+            d.age += by
+
+    def drop_older_than(self, max_age: int) -> int:
+        """Remove entries with ``age > max_age``; returns how many."""
+        stale = [a for a, d in self._entries.items() if d.age > max_age]
+        for a in stale:
+            del self._entries[a]
+        return len(stale)
+
+    def trim(self, rng=None) -> None:
+        """Shrink to ``max_size`` keeping the freshest entries.
+
+        Ties *must* be broken randomly when trimming gossip views (pass
+        ``rng``): with many same-age entries, any fixed tie-break order
+        systematically evicts the same nodes every round and the network's
+        collective knowledge collapses onto a small core.  Without ``rng``
+        ties break by address — acceptable only for one-shot trims.
+        """
+        if len(self._entries) <= self.max_size:
+            return
+        if rng is None:
+            key = lambda d: (d.age, d.address)
+        else:
+            key = lambda d: (d.age, rng.random())
+        keep = sorted(self._entries.values(), key=key)
+        self._entries = {d.address: d for d in keep[: self.max_size]}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def random_descriptor(self, rng) -> Optional[Descriptor]:
+        """A uniformly random entry, or None if empty."""
+        if not self._entries:
+            return None
+        addr = rng.choice(list(self._entries))
+        return self._entries[addr]
+
+    def oldest_descriptor(self) -> Optional[Descriptor]:
+        """The entry with the largest age (ties broken by address)."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=lambda d: (d.age, -d.address))
+
+    def sample(self, n: int, rng) -> List[Descriptor]:
+        """Up to ``n`` distinct entries, uniformly at random."""
+        entries = list(self._entries.values())
+        if len(entries) <= n:
+            return entries
+        idx = rng.sample(range(len(entries)), n)
+        return [entries[i] for i in idx]

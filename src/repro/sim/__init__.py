@@ -1,0 +1,41 @@
+"""PeerSim-equivalent simulation substrate.
+
+This subpackage provides the machinery every protocol in the repository runs
+on top of:
+
+- :mod:`repro.sim.engine` — a discrete-event scheduler plus a cycle driver
+  reproducing PeerSim's cycle-driven (``cdsim``) semantics: on every cycle
+  each live node executes one protocol step, in a freshly shuffled order.
+- :mod:`repro.sim.network` — the node registry and message transport with
+  pluggable latency models and per-message accounting.
+- :mod:`repro.sim.node` — base node lifecycle (alive / stopped, address).
+- :mod:`repro.sim.messages` — message dataclasses used by the transport.
+- :mod:`repro.sim.churn` — churn schedules (joins / leaves / flash crowds)
+  and trace replay.
+- :mod:`repro.sim.metrics` — collectors for the three metrics of the paper:
+  hit ratio, traffic overhead, and propagation delay.
+- :mod:`repro.sim.rng` — deterministic seed-tree random number utilities.
+"""
+
+from repro.sim.engine import CycleDriver, Engine
+from repro.sim.messages import Message
+from repro.sim.metrics import DisseminationRecord, MetricsCollector
+from repro.sim.network import ConstantLatency, Network, UniformLatency
+from repro.sim.node import BaseNode
+from repro.sim.rng import SeedTree
+from repro.sim.churn import ChurnEvent, ChurnSchedule
+
+__all__ = [
+    "BaseNode",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ConstantLatency",
+    "CycleDriver",
+    "DisseminationRecord",
+    "Engine",
+    "Message",
+    "MetricsCollector",
+    "Network",
+    "SeedTree",
+    "UniformLatency",
+]

@@ -1,0 +1,181 @@
+"""Churn schedules: joins, leaves, trace replay and flash crowds.
+
+A churn schedule is an ordered list of :class:`ChurnEvent` entries; it can
+be generated synthetically (Poisson churn, session models) or loaded from a
+session trace such as the synthetic Skype trace produced by
+:mod:`repro.workloads.skype`.  The schedule is applied to an engine, which
+invokes user-supplied ``join`` / ``leave`` callbacks at the right simulated
+times, interleaved with gossip cycles by :class:`repro.sim.engine.CycleDriver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.sim.engine import Engine
+
+__all__ = ["ChurnEvent", "ChurnSchedule"]
+
+JOIN = "join"
+LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change: node ``address`` joins or leaves at ``time``."""
+
+    time: float
+    address: int
+    kind: str  # JOIN or LEAVE
+
+    def __post_init__(self) -> None:
+        if self.kind not in (JOIN, LEAVE):
+            raise ValueError(f"unknown churn event kind: {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("event time must be >= 0")
+
+
+class ChurnSchedule:
+    """An immutable, time-ordered sequence of churn events."""
+
+    def __init__(self, events: Iterable[ChurnEvent]) -> None:
+        self.events: List[ChurnEvent] = sorted(events, key=lambda e: (e.time, e.address))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0.0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sessions(
+        cls, sessions: Sequence[Tuple[int, float, float]]
+    ) -> "ChurnSchedule":
+        """Build from ``(address, start, end)`` session triples.
+
+        Each session yields a join at ``start`` and a leave at ``end``
+        (sessions with ``end <= start`` are rejected).  This is the format
+        the Skype-style trace generator emits.
+        """
+        events: List[ChurnEvent] = []
+        for address, start, end in sessions:
+            if end <= start:
+                raise ValueError(f"session for node {address} ends before it starts")
+            events.append(ChurnEvent(start, address, JOIN))
+            events.append(ChurnEvent(end, address, LEAVE))
+        return cls(events)
+
+    @classmethod
+    def poisson(
+        cls,
+        rng,
+        addresses: Sequence[int],
+        rate_per_node: float,
+        horizon: float,
+        mean_session: float,
+    ) -> "ChurnSchedule":
+        """Memoryless churn: each node alternates exponential off/on periods.
+
+        ``rate_per_node`` is the join rate while offline (1/mean off-time);
+        ``mean_session`` the mean online duration.
+        """
+        if rate_per_node <= 0 or mean_session <= 0:
+            raise ValueError("rates must be positive")
+        events: List[ChurnEvent] = []
+        for addr in addresses:
+            t = float(rng.exponential(1.0 / rate_per_node))
+            online = False
+            while t < horizon:
+                if online:
+                    events.append(ChurnEvent(t, addr, LEAVE))
+                    t += float(rng.exponential(1.0 / rate_per_node))
+                else:
+                    events.append(ChurnEvent(t, addr, JOIN))
+                    t += float(rng.exponential(mean_session))
+                online = not online
+        return cls(events)
+
+    @classmethod
+    def flash_crowd(
+        cls, addresses: Sequence[int], at: float, spread: float = 0.0, rng=None
+    ) -> "ChurnSchedule":
+        """A burst of joins at (or uniformly within ``spread`` seconds after)
+        time ``at`` — the scenario that dents RVR's hit ratio in Fig. 12."""
+        events = []
+        for addr in addresses:
+            jitter = float(rng.uniform(0.0, spread)) if (rng is not None and spread > 0) else 0.0
+            events.append(ChurnEvent(at + jitter, addr, JOIN))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def merged(self, other: "ChurnSchedule") -> "ChurnSchedule":
+        """A new schedule containing both event sets."""
+        return ChurnSchedule(list(self.events) + list(other.events))
+
+    def clipped(self, t_max: float) -> "ChurnSchedule":
+        """A new schedule with only the events at ``time <= t_max``."""
+        return ChurnSchedule(e for e in self.events if e.time <= t_max)
+
+    def shifted(self, dt: float) -> "ChurnSchedule":
+        """A new schedule with every event delayed by ``dt``."""
+        return ChurnSchedule(
+            ChurnEvent(e.time + dt, e.address, e.kind) for e in self.events
+        )
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        engine: Engine,
+        join: Callable[[int], None],
+        leave: Callable[[int], None],
+    ) -> int:
+        """Schedule every event on ``engine``.
+
+        Events earlier than the engine's current time are rejected —
+        shift the schedule first.  Returns the number of events scheduled.
+        """
+        now = engine.now
+        n = 0
+        for e in self.events:
+            if e.time < now:
+                raise ValueError(
+                    f"event at t={e.time} is in the past (engine at t={now}); "
+                    "use .shifted() first"
+                )
+            cb = (lambda a=e.address: join(a)) if e.kind == JOIN else (
+                lambda a=e.address: leave(a)
+            )
+            engine.schedule_at(e.time, cb)
+            n += 1
+        return n
+
+    def population_series(self, resolution: float = 1.0) -> List[Tuple[float, int]]:
+        """Net online population over time, sampled every ``resolution`` s.
+
+        Useful for the "network size" curve plotted alongside Fig. 12.
+        """
+        series: List[Tuple[float, int]] = []
+        pop = 0
+        idx = 0
+        t = 0.0
+        events = self.events
+        while t <= self.horizon:
+            while idx < len(events) and events[idx].time <= t:
+                pop += 1 if events[idx].kind == JOIN else -1
+                idx += 1
+            series.append((t, pop))
+            t += resolution
+        return series

@@ -1,0 +1,146 @@
+"""Message types for the network transport.
+
+The cycle-driven protocols exchange state directly (the PeerSim idiom), but
+message-level simulations — used by the reference dissemination path and the
+examples — send instances of these classes through
+:class:`repro.sim.network.Network`.
+
+Every message carries an abstract ``size`` in bytes so that byte-level
+traffic accounting is possible in addition to message counts; the paper's
+traffic-overhead metric is message-based, so size defaults to 1 unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "Message",
+    "Notification",
+    "PullRequest",
+    "PullReply",
+    "ProfileMessage",
+    "LookupMessage",
+    "PsExchangeRequest",
+    "PsExchangeReply",
+    "RtExchangeRequest",
+    "RtExchangeReply",
+    "RelayInstall",
+]
+
+
+@dataclass
+class Message:
+    """Base class for all simulator messages.
+
+    Attributes
+    ----------
+    src, dst:
+        Node addresses (opaque ints managed by the network).
+    size:
+        Abstract size used for byte accounting.
+    """
+
+    src: int
+    dst: int
+    size: int = 1
+
+    @property
+    def kind(self) -> str:
+        """Short name used by traffic accounting."""
+        return type(self).__name__
+
+
+@dataclass
+class Notification(Message):
+    """An event notification: "something new was published on ``topic``".
+
+    Notifications are small; the payload is fetched with a pull.
+    """
+
+    topic: int = -1
+    event_id: int = -1
+    hops: int = 0
+    publisher: int = -1
+
+
+@dataclass
+class PullRequest(Message):
+    """Request to fetch the payload of ``event_id`` from the notifier."""
+
+    event_id: int = -1
+
+
+@dataclass
+class PullReply(Message):
+    """The event payload travelling back to the puller."""
+
+    event_id: int = -1
+    payload: Any = None
+
+
+@dataclass
+class ProfileMessage(Message):
+    """Periodic profile/heartbeat exchange (paper Alg. 6/7)."""
+
+    profile: Any = None
+
+
+@dataclass
+class LookupMessage(Message):
+    """A greedy-routing lookup step toward ``target_id``."""
+
+    target_id: int = -1
+    origin: int = -1
+    hops: int = 0
+    trace: Optional[list] = field(default=None)
+
+
+# ----------------------------------------------------------------------
+# Message-driven deployment mode (repro.core.deployment)
+# ----------------------------------------------------------------------
+@dataclass
+class PsExchangeRequest(Message):
+    """Active half of a Newscast exchange: the initiator's view snapshot
+    (list of ``(address, node_id, age)`` triples, self included fresh)."""
+
+    view: list = field(default_factory=list)
+
+
+@dataclass
+class PsExchangeReply(Message):
+    """Passive half: the responder's pre-merge view snapshot."""
+
+    view: list = field(default_factory=list)
+
+
+@dataclass
+class RtExchangeRequest(Message):
+    """Active half of a T-Man routing-table exchange (paper Alg. 2):
+    the initiator's candidate buffer."""
+
+    buffer: list = field(default_factory=list)
+
+
+@dataclass
+class RtExchangeReply(Message):
+    """Passive half (paper Alg. 3): the responder's pre-merge buffer."""
+
+    buffer: list = field(default_factory=list)
+
+
+@dataclass
+class RelayInstall(Message):
+    """One hop of a gateway's ``RequestRelay`` lookup (Alg. 5 line 21).
+
+    Travels greedily toward ``hash(topic)``; every node it crosses
+    becomes a relay: it records the previous hop as a child and the next
+    hop as its parent, stopping early when it grafts onto an existing
+    branch or reaches the rendezvous.
+    """
+
+    topic: int = -1
+    target_id: int = -1
+    origin: int = -1
+    hops: int = 0

@@ -1,0 +1,234 @@
+"""Collectors for the paper's three metrics (section IV).
+
+- **Hit ratio** — the fraction of events, over all topics, received by the
+  subscriber nodes.
+- **Traffic overhead** — the proportion of relay (uninteresting) traffic
+  nodes experience: a message is *relay* traffic for the node handling it
+  iff the node is not subscribed to the message's topic.
+- **Propagation delay** — the average number of hops an event takes to
+  reach its subscribers.
+
+One :class:`DisseminationRecord` is produced per published event by the
+dissemination engines (Vitis / RVR / OPT all emit the same shape), and a
+:class:`MetricsCollector` aggregates any number of them into the metrics,
+including the per-node overhead distribution of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DisseminationRecord", "MetricsCollector", "restrict_record"]
+
+
+@dataclass
+class DisseminationRecord:
+    """Outcome of disseminating one published event.
+
+    Attributes
+    ----------
+    topic, event_id, publisher:
+        What was published, and by whom (node address).
+    subscribers:
+        Addresses of the nodes subscribed to the topic at publish time,
+        excluding the publisher (a publisher trivially "receives" its own
+        event, so the paper's hit ratio is computed over the others).
+    delivered_hops:
+        ``{subscriber_address: hop_count}`` for every subscriber reached.
+    interested_msgs / relay_msgs:
+        ``{address: count}`` of messages handled by each node, split by
+        whether the node was subscribed to the topic.
+    """
+
+    topic: int
+    event_id: int
+    publisher: int
+    subscribers: frozenset = field(default_factory=frozenset)
+    delivered_hops: Dict[int, int] = field(default_factory=dict)
+    interested_msgs: Counter = field(default_factory=Counter)
+    relay_msgs: Counter = field(default_factory=Counter)
+    #: Pull round-trips (only populated when dissemination runs with
+    #: ``count_pulls=True``; the pull messages are folded into the two
+    #: counters above as well).
+    pull_requests: int = 0
+    pull_replies: int = 0
+    #: Summed link cost of every message (only populated when the
+    #: protocol defines a ``link_cost`` hook; units are the hook's).
+    physical_cost: float = 0.0
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self.subscribers)
+
+    @property
+    def n_delivered(self) -> int:
+        return len(self.delivered_hops)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.interested_msgs.values()) + sum(self.relay_msgs.values())
+
+    @property
+    def total_relay_messages(self) -> int:
+        return sum(self.relay_msgs.values())
+
+    def hit_ratio(self) -> float:
+        """Fraction of this event's subscribers that received it (1.0 when
+        the topic had no other subscriber — nothing was missed)."""
+        if not self.subscribers:
+            return 1.0
+        return len(self.delivered_hops) / len(self.subscribers)
+
+
+def restrict_record(
+    record: DisseminationRecord, eligible: Iterable[int]
+) -> DisseminationRecord:
+    """A copy of ``record`` whose hit-ratio denominator is restricted to
+    ``eligible`` subscribers.
+
+    Implements the paper's measurement rule for churn/Twitter experiments:
+    "the hit ratio for a node is calculated 10 seconds after the node
+    joins" — nodes that joined more recently are excluded from the
+    denominator (traffic accounting is unchanged).
+    """
+    keep = frozenset(eligible)
+    subscribers = record.subscribers & keep
+    return DisseminationRecord(
+        topic=record.topic,
+        event_id=record.event_id,
+        publisher=record.publisher,
+        subscribers=subscribers,
+        delivered_hops={a: h for a, h in record.delivered_hops.items() if a in subscribers},
+        interested_msgs=Counter(record.interested_msgs),
+        relay_msgs=Counter(record.relay_msgs),
+        pull_requests=record.pull_requests,
+        pull_replies=record.pull_replies,
+        physical_cost=record.physical_cost,
+    )
+
+
+class MetricsCollector:
+    """Aggregates dissemination records into the paper's metrics."""
+
+    def __init__(self) -> None:
+        self.records: List[DisseminationRecord] = []
+        self._interested = Counter()  # addr -> msgs on subscribed topics
+        self._relay = Counter()       # addr -> msgs on unsubscribed topics
+
+    def add(self, record: DisseminationRecord) -> None:
+        """Fold one event's outcome into the aggregate."""
+        self.records.append(record)
+        self._interested.update(record.interested_msgs)
+        self._relay.update(record.relay_msgs)
+
+    def extend(self, records: Iterable[DisseminationRecord]) -> None:
+        for r in records:
+            self.add(r)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    def hit_ratio(self) -> float:
+        """Overall hit ratio: delivered subscriber slots / total slots."""
+        total = sum(r.n_subscribers for r in self.records)
+        if total == 0:
+            return 1.0
+        delivered = sum(r.n_delivered for r in self.records)
+        return delivered / total
+
+    def traffic_overhead_pct(self) -> float:
+        """Global traffic overhead: relay messages as % of all messages."""
+        relay = sum(self._relay.values())
+        total = relay + sum(self._interested.values())
+        if total == 0:
+            return 0.0
+        return 100.0 * relay / total
+
+    def mean_delay(self) -> float:
+        """Average hop count over every delivered (event, subscriber) pair."""
+        hops = 0
+        n = 0
+        for r in self.records:
+            hops += sum(r.delivered_hops.values())
+            n += len(r.delivered_hops)
+        return hops / n if n else 0.0
+
+    def mean_physical_cost(self) -> float:
+        """Average physical (link-cost) price per event — only meaningful
+        when records carry costs (protocol had a ``link_cost`` hook)."""
+        if not self.records:
+            return 0.0
+        return sum(r.physical_cost for r in self.records) / len(self.records)
+
+    def max_delay(self) -> int:
+        """Worst-case hop count observed."""
+        worst = 0
+        for r in self.records:
+            if r.delivered_hops:
+                worst = max(worst, max(r.delivered_hops.values()))
+        return worst
+
+    # ------------------------------------------------------------------
+    # Distributions (Fig. 5)
+    # ------------------------------------------------------------------
+    def per_node_overhead(self) -> Dict[int, float]:
+        """Per-node traffic overhead %, over all events.
+
+        Only nodes that handled at least one message appear.
+        """
+        out: Dict[int, float] = {}
+        for addr in set(self._interested) | set(self._relay):
+            relay = self._relay.get(addr, 0)
+            total = relay + self._interested.get(addr, 0)
+            if total:
+                out[addr] = 100.0 * relay / total
+        return out
+
+    def overhead_histogram(
+        self, bin_edges: Sequence[float] = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fraction of nodes per overhead bin (the Fig. 5 series).
+
+        Returns ``(bin_edges, fractions)`` where ``fractions[i]`` is the
+        fraction of message-handling nodes whose overhead falls in
+        ``[bin_edges[i], bin_edges[i+1])`` (last bin inclusive).
+        """
+        per_node = np.fromiter(self.per_node_overhead().values(), dtype=float)
+        edges = np.asarray(bin_edges, dtype=float)
+        if per_node.size == 0:
+            return edges, np.zeros(len(edges) - 1)
+        counts, _ = np.histogram(per_node, bins=edges)
+        # np.histogram's last bin is closed on the right already.
+        return edges, counts / per_node.size
+
+    def delay_distribution(self) -> np.ndarray:
+        """All delivered hop counts as a flat array (for percentiles)."""
+        vals: List[int] = []
+        for r in self.records:
+            vals.extend(r.delivered_hops.values())
+        return np.asarray(vals, dtype=int)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """The three headline metrics in one dict."""
+        return {
+            "events": float(len(self.records)),
+            "hit_ratio": self.hit_ratio(),
+            "traffic_overhead_pct": self.traffic_overhead_pct(),
+            "mean_delay_hops": self.mean_delay(),
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated records and counters."""
+        self.records.clear()
+        self._interested.clear()
+        self._relay.clear()

@@ -1,0 +1,98 @@
+"""Time-series recording for long simulations.
+
+The churn experiments report metrics as time series (Fig. 12's three
+panels).  :class:`TimeSeries` is the small building block they share with
+the examples: named series of (time, value) samples with windowed
+aggregation and tabular export compatible with
+:mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Named series of time-stamped samples.
+
+    Samples must arrive in non-decreasing time order per series (the
+    simulation clock is monotone), which keeps windowed queries O(log n).
+    """
+
+    def __init__(self) -> None:
+        self._times: Dict[str, List[float]] = {}
+        self._values: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, series: str, time: float, value: float) -> None:
+        """Append one sample."""
+        ts = self._times.setdefault(series, [])
+        if ts and time < ts[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} < {ts[-1]} in {series!r}"
+            )
+        ts.append(float(time))
+        self._values.setdefault(series, []).append(float(value))
+
+    def record_many(self, time: float, values: Dict[str, float]) -> None:
+        """Append one sample to several series at the same instant."""
+        for series, value in values.items():
+            self.record(series, time, value)
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """All samples of one series as (time, value) pairs."""
+        return list(zip(self._times.get(name, ()), self._values.get(name, ())))
+
+    def names(self) -> List[str]:
+        return sorted(self._times)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._values.values())
+
+    def latest(self, name: str) -> Optional[float]:
+        vals = self._values.get(name)
+        return vals[-1] if vals else None
+
+    # ------------------------------------------------------------------
+    def window(self, name: str, t0: float, t1: float) -> List[float]:
+        """Values with t0 <= time < t1."""
+        ts = self._times.get(name, [])
+        lo = bisect_left(ts, t0)
+        hi = bisect_left(ts, t1)
+        return self._values[name][lo:hi] if name in self._values else []
+
+    def window_mean(self, name: str, t0: float, t1: float) -> Optional[float]:
+        vals = self.window(name, t0, t1)
+        return sum(vals) / len(vals) if vals else None
+
+    def window_min(self, name: str, t0: float, t1: float) -> Optional[float]:
+        vals = self.window(name, t0, t1)
+        return min(vals) if vals else None
+
+    # ------------------------------------------------------------------
+    def to_rows(
+        self, names: Optional[Sequence[str]] = None, time_key: str = "time"
+    ) -> List[Dict]:
+        """Align series on their union of timestamps into row dicts
+        (missing samples render as None) — the shape
+        :func:`repro.experiments.reporting.format_table` consumes."""
+        if names is None:
+            names = self.names()
+        all_times = sorted({t for n in names for t in self._times.get(n, ())})
+        rows: List[Dict] = []
+        for t in all_times:
+            row: Dict = {time_key: t}
+            for n in names:
+                ts = self._times.get(n, [])
+                i = bisect_left(ts, t)
+                row[n] = (
+                    self._values[n][i]
+                    if i < len(ts) and ts[i] == t
+                    else None
+                )
+            rows.append(row)
+        return rows

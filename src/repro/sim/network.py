@@ -1,0 +1,172 @@
+"""Node registry and message transport.
+
+The :class:`Network` owns all nodes of a simulation, delivers messages with
+a pluggable latency model, and accounts traffic per message kind and per
+node.  Messages to dead or unregistered nodes are dropped (and counted), the
+way UDP datagrams to a vanished peer would be.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.messages import Message
+from repro.sim.node import BaseNode
+
+__all__ = ["Network", "LatencyModel", "ConstantLatency", "UniformLatency"]
+
+
+class LatencyModel:
+    """Maps a (src, dst) pair to a one-way delay in simulated seconds."""
+
+    def delay(self, src: int, dst: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every link has the same fixed delay (default 0: synchronous)."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self._delay = delay
+
+    def delay(self, src: int, dst: int) -> float:
+        return self._delay
+
+
+class UniformLatency(LatencyModel):
+    """Per-message delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float, rng) -> None:
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self._low = low
+        self._high = high
+        self._rng = rng
+
+    def delay(self, src: int, dst: int) -> float:
+        return self._rng.uniform(self._low, self._high)
+
+
+class Network:
+    """Registry of nodes plus the message transport between them.
+
+    Parameters
+    ----------
+    engine:
+        Event engine used to schedule deliveries.
+    latency:
+        Latency model; default is zero-delay synchronous delivery, which is
+        what cycle-driven experiments use (one hop = one unit of delay is
+        accounted at the protocol level instead).
+    """
+
+    def __init__(self, engine: Engine, latency: Optional[LatencyModel] = None) -> None:
+        self.engine = engine
+        self.latency = latency or ConstantLatency(0.0)
+        self._nodes: Dict[int, BaseNode] = {}
+        self._next_address = 0
+        # Traffic accounting
+        self.sent = Counter()       # message kind -> count
+        self.delivered = Counter()  # message kind -> count
+        self.dropped = Counter()    # message kind -> count
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(self, factory: Callable[[int], BaseNode]) -> BaseNode:
+        """Create a node via ``factory(address)`` and register it."""
+        address = self._next_address
+        self._next_address += 1
+        node = factory(address)
+        if node.address != address:
+            raise ValueError("factory must construct the node with the given address")
+        node.network = self
+        self._nodes[address] = node
+        return node
+
+    def add(self, node: BaseNode) -> BaseNode:
+        """Register an externally constructed node (address must be fresh)."""
+        if node.address in self._nodes:
+            raise ValueError(f"address {node.address} already registered")
+        node.network = self
+        self._nodes[node.address] = node
+        self._next_address = max(self._next_address, node.address + 1)
+        return node
+
+    def get(self, address: int) -> Optional[BaseNode]:
+        """The node at ``address``, or None if never registered."""
+        return self._nodes.get(address)
+
+    def node(self, address: int) -> BaseNode:
+        """The node at ``address``; raises KeyError if unknown."""
+        return self._nodes[address]
+
+    def is_alive(self, address: int) -> bool:
+        """True iff the address is registered and the node is up."""
+        n = self._nodes.get(address)
+        return n is not None and n.alive
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[BaseNode]:
+        return iter(self._nodes.values())
+
+    @property
+    def addresses(self) -> List[int]:
+        """All registered addresses (alive or not), ascending."""
+        return sorted(self._nodes)
+
+    def live_nodes(self) -> List[BaseNode]:
+        """All nodes currently up."""
+        return [n for n in self._nodes.values() if n.alive]
+
+    def live_count(self) -> int:
+        """Number of nodes currently up."""
+        return sum(1 for n in self._nodes.values() if n.alive)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        """Send ``msg`` from ``msg.src`` to ``msg.dst``.
+
+        Delivery is scheduled on the engine after the latency model's delay;
+        with the default zero-delay model the event still goes through the
+        engine queue, preserving causal ordering.
+        """
+        self.sent[msg.kind] += 1
+        self.bytes_sent += msg.size
+        delay = self.latency.delay(msg.src, msg.dst)
+        self.engine.schedule(delay, lambda m=msg: self._deliver(m))
+
+    def send_sync(self, msg: Message) -> bool:
+        """Deliver ``msg`` immediately (no engine round-trip).
+
+        Used by cycle-driven protocols that model the exchange as atomic
+        within a cycle.  Returns True if the message was handled.
+        """
+        self.sent[msg.kind] += 1
+        self.bytes_sent += msg.size
+        return self._deliver(msg)
+
+    def _deliver(self, msg: Message) -> bool:
+        node = self._nodes.get(msg.dst)
+        if node is None or not node.alive:
+            self.dropped[msg.kind] += 1
+            return False
+        self.delivered[msg.kind] += 1
+        node.on_message(msg)
+        return True
+
+    def reset_traffic(self) -> None:
+        """Zero all traffic counters (e.g. after warm-up)."""
+        self.sent.clear()
+        self.delivered.clear()
+        self.dropped.clear()
+        self.bytes_sent = 0

@@ -1,0 +1,81 @@
+"""Ring maintenance helpers.
+
+Vitis dedicates two routing-table entries to the ring (predecessor and
+successor, Alg. 4 lines 2–7).  The ring provides *lookup consistency*:
+greedy routing over a correct ring always terminates at the live node whose
+id is the rendezvous for the target — the property relay-path construction
+depends on (paper section III-A1).
+
+These helpers are pure functions over candidate descriptor sets, so the
+same code serves Vitis, RVR and the test suite's invariant checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.identifiers import IdSpace
+from repro.gossip.view import Descriptor
+
+__all__ = ["find_successor", "find_predecessor", "ring_edges", "is_ring_converged"]
+
+
+def find_successor(
+    space: IdSpace, self_id: int, candidates: Iterable[Descriptor]
+) -> Optional[Descriptor]:
+    """The candidate with minimal *clockwise* distance from ``self_id``.
+
+    Candidates with the node's own id are skipped (clockwise distance 0
+    would otherwise make a node its own successor).
+    """
+    best = None
+    best_d = None
+    for d in candidates:
+        cw = space.clockwise(self_id, d.node_id)
+        if cw == 0:
+            continue
+        if best_d is None or cw < best_d or (cw == best_d and d.address < best.address):
+            best, best_d = d, cw
+    return best
+
+
+def find_predecessor(
+    space: IdSpace, self_id: int, candidates: Iterable[Descriptor]
+) -> Optional[Descriptor]:
+    """The candidate with minimal *counter-clockwise* distance from
+    ``self_id`` (i.e. minimal clockwise distance toward ``self_id``)."""
+    best = None
+    best_d = None
+    for d in candidates:
+        ccw = space.clockwise(d.node_id, self_id)
+        if ccw == 0:
+            continue
+        if best_d is None or ccw < best_d or (ccw == best_d and d.address < best.address):
+            best, best_d = d, ccw
+    return best
+
+
+def ring_edges(ids_by_address: Dict[int, int]) -> List[Tuple[int, int]]:
+    """The ground-truth ring over a population: edges (addr, succ_addr)
+    ordered by id.  Used to validate convergence in tests."""
+    ordered = sorted(ids_by_address.items(), key=lambda kv: kv[1])
+    n = len(ordered)
+    return [(ordered[i][0], ordered[(i + 1) % n][0]) for i in range(n)]
+
+
+def is_ring_converged(
+    ids_by_address: Dict[int, int],
+    successor_of: Dict[int, Optional[int]],
+) -> bool:
+    """True iff every node's successor pointer matches the true ring.
+
+    ``successor_of`` maps address → successor address (None counts as
+    wrong unless the population has a single node).
+    """
+    if len(ids_by_address) <= 1:
+        return True
+    truth = dict(ring_edges(ids_by_address))
+    for addr, true_succ in truth.items():
+        if successor_of.get(addr) != true_succ:
+            return False
+    return True

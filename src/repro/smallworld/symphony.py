@@ -1,0 +1,65 @@
+"""Symphony-style harmonic long links (Manku, Bawa, Raghavan, 2003).
+
+Symphony samples long-link distances from the *harmonic* probability
+density ``p(x) = 1 / (x · ln n)`` for ``x ∈ [1/n, 1]`` (distance as a
+fraction of the ring).  With ``k`` such links per node, greedy routing
+takes ``O((1/k)·log² n)`` hops in expectation — the navigability result
+(Kleinberg, 2000) the paper builds its rendezvous routing on.
+
+Vitis draws a harmonic *target distance* and then, unlike Symphony's
+explicit link handshake, picks the gossip candidate whose id lands closest
+to the target (paper Alg. 4 line 8, ``select-sw-neighbor(RANDOM-DISTANCE)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, TypeVar
+
+from repro.core.identifiers import IdSpace
+from repro.gossip.view import Descriptor
+
+__all__ = ["harmonic_fraction", "draw_sw_target", "closest_to_target"]
+
+T = TypeVar("T")
+
+
+def harmonic_fraction(rng, n_estimate: int) -> float:
+    """Draw a ring-fraction distance from the harmonic pdf.
+
+    Inverse-CDF sampling: with ``u ~ U[0,1)``,
+    ``x = n^(u-1)`` is distributed with density ``1/(x ln n)`` on
+    ``[1/n, 1]``.
+
+    Parameters
+    ----------
+    rng:
+        ``random.Random``-compatible source.
+    n_estimate:
+        Estimated network size; Symphony shows a rough estimate suffices.
+    """
+    n = max(2, int(n_estimate))
+    u = rng.random()
+    return math.pow(n, u - 1.0)
+
+
+def draw_sw_target(space: IdSpace, node_id: int, rng, n_estimate: int) -> int:
+    """A target id for a new small-world link: harmonic distance clockwise
+    from ``node_id``."""
+    frac = harmonic_fraction(rng, n_estimate)
+    delta = max(1, int(frac * space.size))
+    return space.offset(node_id, delta)
+
+
+def closest_to_target(
+    space: IdSpace, target_id: int, candidates: Iterable[Descriptor]
+) -> Optional[Descriptor]:
+    """The candidate whose id is circularly closest to ``target_id``
+    (ties broken by address for determinism)."""
+    best = None
+    best_d = None
+    for d in candidates:
+        dist = space.distance(d.node_id, target_id)
+        if best_d is None or dist < best_d or (dist == best_d and d.address < best.address):
+            best, best_d = d, dist
+    return best

@@ -1,0 +1,111 @@
+"""Synthetic subscription models (paper section IV-A).
+
+The paper generates three patterns over 5000 topics with 50 subscriptions
+per node, after Wong et al.'s preference-clustering model:
+
+- **Random** — 50 topics uniformly at random;
+- **Low correlation** — topics grouped into 100 buckets of 50; each node
+  picks 5 buckets and 10 topics from each;
+- **High correlation** — same buckets; each node picks 2 buckets and 25
+  topics from each.
+
+All three keep the *average topic popularity* uniform (buckets and topics
+are chosen uniformly); what differs is the pairwise interest correlation
+that Eq. 1 can exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = [
+    "random_subscriptions",
+    "bucket_subscriptions",
+    "low_correlation_subscriptions",
+    "high_correlation_subscriptions",
+]
+
+
+def random_subscriptions(
+    n_nodes: int,
+    n_topics: int = 5000,
+    per_node: int = 50,
+    seed: int = 0,
+) -> List[frozenset]:
+    """Each node subscribes to ``per_node`` topics uniformly at random."""
+    if per_node > n_topics:
+        raise ValueError(f"per_node={per_node} exceeds n_topics={n_topics}")
+    rng = random.Random(("subs-random", seed).__repr__())
+    topics = range(n_topics)
+    return [frozenset(rng.sample(topics, per_node)) for _ in range(n_nodes)]
+
+
+def bucket_subscriptions(
+    n_nodes: int,
+    n_topics: int = 5000,
+    n_buckets: int = 100,
+    buckets_per_node: int = 5,
+    topics_per_bucket: int = 10,
+    seed: int = 0,
+) -> List[frozenset]:
+    """The bucket model underlying both correlated patterns.
+
+    Topics are partitioned into ``n_buckets`` contiguous buckets; each
+    node picks ``buckets_per_node`` buckets uniformly and
+    ``topics_per_bucket`` topics uniformly from each.
+    """
+    if n_topics % n_buckets != 0:
+        raise ValueError("n_topics must divide evenly into n_buckets")
+    bucket_size = n_topics // n_buckets
+    if topics_per_bucket > bucket_size:
+        raise ValueError(
+            f"topics_per_bucket={topics_per_bucket} exceeds bucket size {bucket_size}"
+        )
+    if buckets_per_node > n_buckets:
+        raise ValueError("buckets_per_node exceeds n_buckets")
+
+    rng = random.Random(("subs-bucket", seed, n_buckets, buckets_per_node).__repr__())
+    out: List[frozenset] = []
+    all_buckets = range(n_buckets)
+    for _ in range(n_nodes):
+        subs = set()
+        for b in rng.sample(all_buckets, buckets_per_node):
+            base = b * bucket_size
+            subs.update(base + t for t in rng.sample(range(bucket_size), topics_per_bucket))
+        out.append(frozenset(subs))
+    return out
+
+
+def low_correlation_subscriptions(
+    n_nodes: int, n_topics: int = 5000, seed: int = 0, n_buckets: int = 100
+) -> List[frozenset]:
+    """Paper's *low correlation*: 5 buckets × 10 topics = 50 subscriptions.
+
+    Bucket counts scale with ``n_topics`` so scaled-down runs keep the
+    same bucket size (50 topics/bucket) and the same correlation level.
+    """
+    n_buckets = max(5, round(n_buckets * n_topics / 5000))
+    return bucket_subscriptions(
+        n_nodes,
+        n_topics,
+        n_buckets=n_buckets,
+        buckets_per_node=5,
+        topics_per_bucket=10,
+        seed=seed,
+    )
+
+
+def high_correlation_subscriptions(
+    n_nodes: int, n_topics: int = 5000, seed: int = 0, n_buckets: int = 100
+) -> List[frozenset]:
+    """Paper's *high correlation*: 2 buckets × 25 topics = 50 subscriptions."""
+    n_buckets = max(2, round(n_buckets * n_topics / 5000))
+    return bucket_subscriptions(
+        n_nodes,
+        n_topics,
+        n_buckets=n_buckets,
+        buckets_per_node=2,
+        topics_per_bucket=25,
+        seed=seed,
+    )

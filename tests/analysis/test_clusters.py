@@ -1,0 +1,83 @@
+"""Tests for per-topic cluster analysis."""
+
+from repro.analysis.clusters import cluster_diameter, cluster_stats, topic_clusters
+
+
+def adj_from_edges(nodes, edges):
+    adj = {n: set() for n in nodes}
+    for u, v in edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    return adj
+
+
+class TestTopicClusters:
+    def test_single_component(self):
+        adj = adj_from_edges([1, 2, 3], [(1, 2), (2, 3)])
+        assert topic_clusters(adj) == [{1, 2, 3}]
+
+    def test_multiple_components_sorted_by_size(self):
+        adj = adj_from_edges([1, 2, 3, 4, 5], [(1, 2), (1, 3), (4, 5)])
+        assert topic_clusters(adj) == [{1, 2, 3}, {4, 5}]
+
+    def test_singletons(self):
+        adj = adj_from_edges([1, 2], [])
+        assert topic_clusters(adj) == [{1}, {2}]
+
+    def test_empty(self):
+        assert topic_clusters({}) == []
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        nodes = list(range(6))
+        adj = adj_from_edges(nodes, [(i, i + 1) for i in range(5)])
+        assert cluster_diameter(adj, set(nodes)) == 5
+
+    def test_star_graph(self):
+        adj = adj_from_edges(range(5), [(0, i) for i in range(1, 5)])
+        assert cluster_diameter(adj, set(range(5))) == 2
+
+    def test_singleton(self):
+        assert cluster_diameter({1: set()}, {1}) == 0
+
+    def test_double_sweep_on_large_path(self):
+        n = 100
+        adj = adj_from_edges(range(n), [(i, i + 1) for i in range(n - 1)])
+        # Force the double-sweep branch (exact_limit below size).
+        assert cluster_diameter(adj, set(range(n)), exact_limit=10) == n - 1
+
+    def test_diameter_restricted_to_members(self):
+        # 0-1-2 path, but only {0, 1} are members: diameter 1.
+        adj = adj_from_edges([0, 1, 2], [(0, 1), (1, 2)])
+        assert cluster_diameter(adj, {0, 1}) == 1
+
+
+class TestClusterStats:
+    def test_stats_over_protocol(self, converged_vitis):
+        stats = cluster_stats(converged_vitis)
+        assert stats.mean_clusters_per_topic >= 1
+        assert stats.mean_cluster_size >= 1
+        assert stats.mean_gateways_per_topic >= 1
+        d = stats.as_dict()
+        assert set(d) == {
+            "mean_clusters_per_topic",
+            "mean_cluster_size",
+            "max_cluster_diameter",
+            "mean_gateways_per_topic",
+        }
+
+    def test_gateways_at_least_clusters(self, converged_vitis):
+        """Every cluster elects at least one gateway, so per topic
+        #gateways >= #clusters."""
+        p = converged_vitis
+        for topic in p.topics()[:15]:
+            clusters = topic_clusters(p.cluster_adjacency(topic))
+            assert len(p.gateways_of(topic)) >= len(clusters)
+
+    def test_empty_stats(self):
+        from repro.analysis.clusters import ClusterStats
+
+        s = ClusterStats()
+        assert s.mean_clusters_per_topic == 0.0
+        assert s.max_diameter == 0

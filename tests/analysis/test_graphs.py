@@ -1,0 +1,103 @@
+"""Tests for networkx exports and overlay structure metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.graphs import (
+    overlay_digraph,
+    relay_tree_graph,
+    smallworld_stats,
+    to_dot,
+)
+from repro.core.routing_table import LinkKind
+
+
+class TestOverlayDigraph:
+    def test_all_live_nodes_present(self, converged_vitis):
+        g = overlay_digraph(converged_vitis)
+        assert set(g.nodes) == set(converged_vitis.live_addresses())
+
+    def test_edge_count_matches_tables(self, converged_vitis):
+        g = overlay_digraph(converged_vitis)
+        expected = sum(
+            len(converged_vitis.nodes[a].rt)
+            for a in converged_vitis.live_addresses()
+        )
+        assert g.number_of_edges() == expected
+
+    def test_kind_filter(self, converged_vitis):
+        ring = overlay_digraph(
+            converged_vitis, kinds=[LinkKind.SUCCESSOR, LinkKind.PREDECESSOR]
+        )
+        kinds = {d["kind"] for _, _, d in ring.edges(data=True)}
+        assert kinds <= {"successor", "predecessor"}
+        # The successor subgraph alone is a single cycle over the ring.
+        succ = overlay_digraph(converged_vitis, kinds=[LinkKind.SUCCESSOR])
+        assert all(d == 1 for _, d in succ.out_degree())
+
+    def test_node_attributes(self, converged_vitis):
+        g = overlay_digraph(converged_vitis)
+        a = next(iter(g.nodes))
+        assert "node_id" in g.nodes[a]
+        assert g.nodes[a]["n_subscriptions"] > 0
+
+
+class TestRelayTreeGraph:
+    def test_tree_shape(self, converged_vitis):
+        p = converged_vitis
+        topic = max(p.topics(), key=lambda t: len(p.subscribers(t)))
+        g = relay_tree_graph(p, topic)
+        # Parent pointers: out-degree at most 1, and the graph is a forest
+        # (no directed cycles).
+        assert all(d <= 1 for _, d in g.out_degree())
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_roles_assigned(self, converged_vitis):
+        p = converged_vitis
+        topic = max(p.topics(), key=lambda t: len(p.subscribers(t)))
+        g = relay_tree_graph(p, topic)
+        roles = {d["role"] for _, d in g.nodes(data=True)}
+        assert "subscriber" in roles or "gateway" in roles
+
+    def test_subscribers_included_even_off_tree(self, converged_vitis):
+        p = converged_vitis
+        topic = p.topics()[0]
+        g = relay_tree_graph(p, topic)
+        assert p.subscribers(topic) <= set(g.nodes)
+
+
+class TestSmallworldStats:
+    def test_keys_and_ranges(self, converged_vitis):
+        s = smallworld_stats(converged_vitis)
+        assert 0 <= s["clustering"] <= 1
+        assert s["avg_path_length"] >= 1
+        assert s["nodes"] == converged_vitis.live_count()
+
+    def test_friend_clustering_beats_random(self, converged_vitis):
+        """The similarity links create more triangles than a random graph
+        of the same density — the 'clusters of grapes'.  The test fixture
+        is small and dense (80 nodes, degree 10), where even random
+        clustering is substantial, so the margin is modest; at paper
+        scale the ratio is far larger."""
+        s = smallworld_stats(converged_vitis)
+        assert s["clustering"] > 1.2 * s["random_clustering"]
+        assert s["clustering"] > 0.2
+
+    def test_paths_stay_short(self, converged_vitis):
+        s = smallworld_stats(converged_vitis)
+        assert s["avg_path_length"] < 3 * s["random_path_length"]
+
+
+class TestDot:
+    def test_renders_nodes_and_edges(self, converged_vitis):
+        g = overlay_digraph(converged_vitis, kinds=[LinkKind.SUCCESSOR])
+        dot = to_dot(g, name="ring")
+        assert dot.startswith("digraph ring {")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == g.number_of_edges()
+
+    def test_role_shapes(self, converged_vitis):
+        p = converged_vitis
+        topic = max(p.topics(), key=lambda t: len(p.subscribers(t)))
+        dot = to_dot(relay_tree_graph(p, topic))
+        assert "shape=" in dot

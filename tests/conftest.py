@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Protocol builds are the expensive part of this suite, so converged systems
+are session-scoped; tests must not mutate them (tests that need to mutate
+build their own small instances).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import VitisConfig
+from repro.core.protocol import VitisProtocol
+from repro.workloads.subscriptions import bucket_subscriptions
+
+
+SMALL_N = 80
+SMALL_TOPICS = 100
+
+
+def small_subscriptions(seed: int = 1):
+    """80 nodes, 100 topics in 10 buckets, 2 buckets x 5 topics per node —
+    a miniature high-correlation workload."""
+    return bucket_subscriptions(
+        SMALL_N,
+        SMALL_TOPICS,
+        n_buckets=10,
+        buckets_per_node=2,
+        topics_per_bucket=5,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_subs():
+    return small_subscriptions()
+
+
+@pytest.fixture(scope="session")
+def converged_vitis(small_subs):
+    """A small converged Vitis system with relays installed.  Read-only."""
+    p = VitisProtocol(
+        small_subs,
+        VitisConfig(rt_size=10, n_sw_links=1),
+        seed=42,
+        election_every=0,
+        relay_every=0,
+    )
+    p.run_cycles(50)
+    p.finalize()
+    return p
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(12345)

@@ -1,0 +1,158 @@
+"""Tests for event dissemination — fast path and message-level reference.
+
+The critical test is equivalence: the BFS fast path and the real-message
+reference path must produce identical deliveries, hop counts and message
+counts on a static overlay.
+"""
+
+import pytest
+
+from repro.core.dissemination import (
+    disseminate,
+    disseminate_via_network,
+    forwarding_targets,
+)
+
+
+def topics_with_subs(p, k):
+    return [t for t in p.topics() if len(p.subscribers(t)) >= 2][:k]
+
+
+class TestDelivery:
+    def test_full_hit_ratio_on_converged_overlay(self, converged_vitis):
+        p = converged_vitis
+        for topic in p.topics():
+            subs = sorted(p.subscribers(topic))
+            if not subs:
+                continue
+            rec = disseminate(p, topic, subs[0], event_id=topic)
+            assert rec.hit_ratio() == 1.0, f"missed subscribers on topic {topic}"
+
+    def test_delivery_from_any_publisher(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        for pub in sorted(p.subscribers(topic)):
+            rec = disseminate(p, topic, pub)
+            assert rec.hit_ratio() == 1.0
+
+    def test_publisher_excluded_from_denominator(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        pub = sorted(p.subscribers(topic))[0]
+        rec = disseminate(p, topic, pub)
+        assert pub not in rec.subscribers
+        assert pub not in rec.delivered_hops
+
+    def test_dead_publisher_delivers_nothing(self, small_subs):
+        from repro.core.config import VitisConfig
+        from repro.core.protocol import VitisProtocol
+
+        p = VitisProtocol(small_subs, VitisConfig(rt_size=10), seed=1,
+                          election_every=0, relay_every=0)
+        p.run_cycles(5)
+        topic = p.topics()[0]
+        pub = sorted(p.subscribers(topic))[0]
+        p.leave(pub)
+        rec = disseminate(p, topic, pub)
+        assert rec.delivered_hops == {}
+        assert rec.total_messages == 0
+
+    def test_uninterested_publisher_via_lookup(self, converged_vitis):
+        p = converged_vitis
+        # Find a topic and a live node not subscribed to it with no
+        # interested neighbors (forces the rendezvous-injection path).
+        for topic in p.topics():
+            subs = p.subscribers(topic)
+            if not subs:
+                continue
+            for a in p.live_addresses():
+                if a in subs:
+                    continue
+                node = p.nodes[a]
+                if node.relay.on_tree(topic):
+                    continue
+                interested = [b for b, _ in node.rt.links()
+                              if p.profile_of(b).subscribes_to(topic)]
+                if interested:
+                    continue
+                rec = disseminate(p, topic, a)
+                assert rec.hit_ratio() == 1.0
+                assert rec.total_relay_messages > 0
+                return
+        pytest.skip("no suitable uninterested publisher found")
+
+
+class TestTrafficAccounting:
+    def test_messages_classified_by_receiver_interest(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        pub = sorted(p.subscribers(topic))[0]
+        rec = disseminate(p, topic, pub)
+        for addr in rec.interested_msgs:
+            assert p.profile_of(addr).subscribes_to(topic)
+        for addr in rec.relay_msgs:
+            assert not p.profile_of(addr).subscribes_to(topic)
+
+    def test_publisher_does_not_receive(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        pub = sorted(p.subscribers(topic))[0]
+        rec = disseminate(p, topic, pub)
+        assert pub not in rec.interested_msgs
+        assert pub not in rec.relay_msgs
+
+    def test_hops_are_bfs_levels(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        pub = sorted(p.subscribers(topic))[0]
+        rec = disseminate(p, topic, pub)
+        # Direct neighbors of the publisher must be at hop 1.
+        adj = p.cluster_adjacency(topic)
+        for v in adj.get(pub, ()):
+            assert rec.delivered_hops.get(v) == 1
+
+
+class TestForwardingTargets:
+    def test_interested_node_floods_cluster(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        member = sorted(p.subscribers(topic))[0]
+        targets = forwarding_targets(p, member, topic)
+        adj = p.cluster_adjacency(topic)
+        assert adj.get(member, set()) <= targets
+
+    def test_relay_node_forwards_tree_only(self, converged_vitis):
+        p = converged_vitis
+        for topic in p.topics():
+            for a in p.live_addresses():
+                node = p.nodes[a]
+                if node.relay.on_tree(topic) and not node.profile.subscribes_to(topic):
+                    targets = forwarding_targets(p, a, topic)
+                    assert targets == set(node.relay.tree_neighbors(topic))
+                    return
+        pytest.skip("no pure relay node found")
+
+
+class TestEquivalence:
+    """Fast path == reference message-level path, event by event."""
+
+    def test_records_identical(self, converged_vitis):
+        p = converged_vitis
+        checked = 0
+        for topic in topics_with_subs(p, 12):
+            pub = sorted(p.subscribers(topic))[0]
+            fast = disseminate(p, topic, pub, event_id=1)
+            slow = disseminate_via_network(p, topic, pub, event_id=1)
+            assert fast.delivered_hops == slow.delivered_hops
+            assert fast.interested_msgs == slow.interested_msgs
+            assert fast.relay_msgs == slow.relay_msgs
+            checked += 1
+        assert checked == 12
+
+    def test_network_counters_move(self, converged_vitis):
+        p = converged_vitis
+        topic = topics_with_subs(p, 1)[0]
+        pub = sorted(p.subscribers(topic))[0]
+        before = sum(p.network.sent.values())
+        disseminate_via_network(p, topic, pub)
+        assert sum(p.network.sent.values()) > before

@@ -1,0 +1,93 @@
+"""Tests for the circular id space."""
+
+import pytest
+
+from repro.core.identifiers import IdSpace
+
+
+class TestConstruction:
+    def test_default_is_64_bits(self):
+        assert IdSpace().bits == 64
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IdSpace(bits=4)
+        with pytest.raises(ValueError):
+            IdSpace(bits=200)
+
+
+class TestHashing:
+    def test_deterministic(self):
+        a, b = IdSpace(), IdSpace()
+        assert a.hash_key("topic-1") == b.hash_key("topic-1")
+
+    def test_in_range(self):
+        s = IdSpace(bits=16)
+        for k in range(200):
+            assert 0 <= s.hash_key(k) < s.size
+
+    def test_node_and_topic_namespaces_disjoint(self):
+        s = IdSpace()
+        assert s.node_id(5) != s.topic_id(5)
+
+    def test_roughly_uniform(self):
+        s = IdSpace(bits=32)
+        ids = [s.hash_key(i) for i in range(2000)]
+        # Mean should be near the middle of the space.
+        mean = sum(ids) / len(ids)
+        assert 0.4 * s.size < mean < 0.6 * s.size
+
+
+class TestGeometry:
+    space = IdSpace(bits=8)  # size 256
+
+    def test_distance_symmetric(self):
+        assert self.space.distance(10, 250) == self.space.distance(250, 10) == 16
+
+    def test_distance_max_is_half(self):
+        assert self.space.distance(0, 128) == 128
+
+    def test_distance_zero(self):
+        assert self.space.distance(7, 7) == 0
+
+    def test_clockwise(self):
+        assert self.space.clockwise(250, 10) == 16
+        assert self.space.clockwise(10, 250) == 240
+        assert self.space.clockwise(5, 5) == 0
+
+    def test_fraction(self):
+        assert self.space.fraction(0, 128) == 0.5
+        assert self.space.fraction(0, 64) == 0.25
+
+    def test_offset_wraps(self):
+        assert self.space.offset(250, 10) == 4
+        assert self.space.offset(5, -10) == 251
+
+    def test_between(self):
+        s = self.space
+        assert s.between(20, 10, 30)
+        assert s.between(30, 10, 30)  # inclusive right
+        assert not s.between(10, 10, 30)  # exclusive left
+        assert s.between(5, 250, 30)  # wrap
+        assert not s.between(100, 250, 30)
+
+
+class TestSelection:
+    space = IdSpace(bits=8)
+
+    def test_closest(self):
+        assert self.space.closest(100, [10, 90, 200]) == 90
+
+    def test_closest_wraps(self):
+        assert self.space.closest(2, [250, 100]) == 250
+
+    def test_closest_tie_prefers_smaller(self):
+        assert self.space.closest(100, [90, 110]) == 90
+
+    def test_closest_empty(self):
+        assert self.space.closest(100, []) is None
+
+    def test_rank_by_distance(self):
+        ranked = self.space.rank_by_distance(100, [10, 90, 200, 110])
+        assert ranked == [90, 110, 10, 200] or ranked[0] in (90, 110)
+        assert set(ranked) == {10, 90, 200, 110}

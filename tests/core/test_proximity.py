@@ -1,0 +1,92 @@
+"""Tests for the proximity-aware preference function."""
+
+import random
+
+import pytest
+
+from repro.core.profile import NodeProfile
+from repro.core.proximity import ProximityUtility
+from repro.core.utility import UtilityFunction
+from repro.sim.latency import CoordinateSpace
+
+
+@pytest.fixture
+def coords():
+    return CoordinateSpace({0: (0.0, 0.0), 1: (0.0, 0.1), 2: (1.0, 1.0)})
+
+
+def prof(addr, subs):
+    return NodeProfile(addr, addr, subs)
+
+
+class TestBlending:
+    def test_beta_zero_is_eq1(self, coords):
+        u = ProximityUtility(coords, beta=0.0)
+        plain = UtilityFunction()
+        a, b = prof(0, {1, 2}), prof(2, {2, 3})
+        assert u(a, b) == plain(a, b)
+
+    def test_beta_validated(self, coords):
+        with pytest.raises(ValueError):
+            ProximityUtility(coords, beta=1.5)
+
+    def test_close_peer_preferred_at_equal_similarity(self, coords):
+        u = ProximityUtility(coords, beta=0.3)
+        me = prof(0, {1, 2})
+        near = prof(1, {2, 3})   # same similarity, 0.1 away
+        far = prof(2, {2, 3})    # same similarity, √2 away
+        assert u(me, near) > u(me, far)
+
+    def test_similarity_still_dominates_at_small_beta(self, coords):
+        u = ProximityUtility(coords, beta=0.2)
+        me = prof(0, {1, 2, 3})
+        similar_far = prof(2, {1, 2, 3})  # identical interests, far
+        disjoint_near = prof(1, {7, 8})   # nothing shared, near
+        assert u(me, similar_far) > u(me, disjoint_near)
+
+    def test_closeness_range(self, coords):
+        u = ProximityUtility(coords, beta=1.0)
+        assert u.closeness(0, 0) == 1.0
+        assert u.closeness(0, 2) == pytest.approx(0.0, abs=1e-9)
+        assert u.closeness(0, 99) == 0.5  # unknown node
+
+    def test_symmetry(self, coords):
+        u = ProximityUtility(coords, beta=0.4)
+        a, b = prof(0, {1}), prof(2, {1, 5})
+        assert u(a, b) == u(b, a)
+
+    def test_self_utility_still_one(self, coords):
+        u = ProximityUtility(coords, beta=0.4)
+        a = prof(0, {1})
+        assert u(a, a) == 1.0
+
+
+class TestEndToEnd:
+    def test_proximity_reduces_physical_cost(self):
+        """The section III-A2 extension in action: at moderate beta the
+        event dissemination costs less 'wire' at full delivery."""
+        from repro.experiments.runner import build_vitis, measure
+        from repro.core.config import VitisConfig
+        from repro.sim.latency import CoordinateLatency
+        from repro.workloads.subscriptions import bucket_subscriptions
+
+        n = 100
+        subs = bucket_subscriptions(n, 120, n_buckets=12, buckets_per_node=2,
+                                    topics_per_bucket=5, seed=3)
+        coords = CoordinateSpace.clustered(range(n), random.Random(5), n_sites=4)
+        cost = CoordinateLatency(coords)
+
+        results = {}
+        for beta in (0.0, 0.25):
+            vitis = build_vitis(
+                subs, VitisConfig(rt_size=10), seed=3,
+                utility=ProximityUtility(coords, beta=beta),
+            )
+            vitis.link_cost = cost.cost
+            col = measure(vitis, 150, seed=4)
+            results[beta] = col
+        assert results[0.25].hit_ratio() == pytest.approx(1.0, abs=0.01)
+        assert (
+            results[0.25].mean_physical_cost()
+            < results[0.0].mean_physical_cost()
+        )

@@ -1,0 +1,159 @@
+"""Tests for VitisNode: Alg. 4 selection, exchanges, heartbeats."""
+
+import random
+
+from repro.core.config import VitisConfig
+from repro.core.identifiers import IdSpace
+from repro.core.node import VitisNode
+from repro.core.routing_table import LinkKind
+from repro.core.utility import UtilityFunction
+from repro.gossip.view import Descriptor
+
+SPACE = IdSpace()
+
+
+def make_node(address=0, subs=(1, 2, 3), rt_size=8, n_sw=1, seed=0):
+    cfg = VitisConfig(rt_size=rt_size, n_sw_links=n_sw, n_estimate=50)
+    return VitisNode(
+        address,
+        SPACE.node_id(address),
+        set(subs),
+        cfg,
+        SPACE,
+        UtilityFunction(),
+        random.Random(seed),
+    )
+
+
+def descriptors(addresses):
+    return [Descriptor(a, SPACE.node_id(a)) for a in addresses]
+
+
+class TestSelectNeighbors:
+    def test_ring_links_first(self):
+        node = make_node()
+        cands = descriptors(range(1, 20))
+        selection = node.select_neighbors(cands, lambda a: None)
+        kinds = [k for _, k in selection]
+        assert kinds[0] is LinkKind.SUCCESSOR
+        assert kinds[1] is LinkKind.PREDECESSOR
+        assert kinds.count(LinkKind.SW) == 1
+        assert kinds.count(LinkKind.FRIEND) == 5  # 8 - 3
+
+    def test_successor_is_truly_closest_clockwise(self):
+        node = make_node()
+        cands = descriptors(range(1, 30))
+        selection = dict((k, d) for d, k in node.select_neighbors(cands, lambda a: None))
+        succ = selection[LinkKind.SUCCESSOR]
+        my = node.node_id
+        for d in cands:
+            if d.address != succ.address:
+                assert SPACE.clockwise(my, succ.node_id) <= SPACE.clockwise(my, d.node_id)
+
+    def test_no_duplicate_slots(self):
+        node = make_node()
+        cands = descriptors(range(1, 5))
+        selection = node.select_neighbors(cands, lambda a: None)
+        addrs = [d.address for d, _ in selection]
+        assert len(addrs) == len(set(addrs))
+
+    def test_friends_ranked_by_utility(self):
+        node = make_node(subs=(1, 2, 3, 4), rt_size=5, n_sw=0)
+        profiles = {
+            10: make_node(10, subs=(1, 2, 3, 4)).profile,   # utility 1.0
+            11: make_node(11, subs=(1, 2)).profile,          # utility 0.5
+            12: make_node(12, subs=(9,)).profile,            # utility 0.0
+        }
+        cands = descriptors([10, 11, 12])
+        selection = node.select_neighbors(cands, profiles.get)
+        friends = [d.address for d, k in selection if k is LinkKind.FRIEND]
+        # One of the three fills a ring slot; the remaining friends are in
+        # utility order.
+        assert friends == sorted(friends, key=lambda a: -node.utility(node.profile, profiles[a]))
+
+    def test_fewer_candidates_than_slots(self):
+        node = make_node(rt_size=15)
+        selection = node.select_neighbors(descriptors([1, 2]), lambda a: None)
+        assert len(selection) == 2
+
+    def test_self_excluded(self):
+        node = make_node(address=3)
+        cands = descriptors([3, 4, 5])
+        selection = node.select_neighbors(cands, lambda a: None)
+        assert all(d.address != 3 for d, _ in selection)
+
+
+class TestJoin:
+    def test_join_seeds_routing_table(self):
+        node = make_node()
+        node.join(descriptors([5, 6, 7]))
+        assert node.alive
+        assert len(node.rt) == 3
+
+    def test_rejoin_resets_state(self):
+        node = make_node()
+        node.join(descriptors([5, 6, 7]))
+        node.gw_state.proposals[1] = "whatever"
+        node.relay.set_parent(1, 5)
+        node.seen_events.add(9)
+        node.stop()
+        node.join(descriptors([8]))
+        assert node.gw_state.proposals == {}
+        assert not node.relay.on_tree(1)
+        assert node.seen_events == set()
+        assert node.rt.addresses == [8]
+
+
+class TestExchange:
+    def test_exchange_installs_both_sides(self):
+        a, b = make_node(0, seed=1), make_node(1, seed=2)
+        a.join(descriptors([1]))
+        b.join(descriptors([0]))
+        nodes = {0: a, 1: b}
+        peer = a.tman_step(nodes.get, lambda x: True, lambda x: nodes[x].profile if x in nodes else None)
+        assert peer == 1
+        assert 1 in a.rt
+        assert 0 in b.rt
+
+    def test_dead_peer_dropped(self):
+        a, b = make_node(0), make_node(1)
+        a.join(descriptors([1]))
+        b.join(descriptors([0]))
+        b.stop()
+        nodes = {0: a, 1: b}
+        result = a.tman_step(nodes.get, lambda x: x == 0, lambda x: None)
+        assert result is None
+        assert 1 not in a.rt
+
+    def test_exchange_buffer_freshness(self):
+        a = make_node(0)
+        a.join(descriptors([1, 2]))
+        buf = a.exchange_buffer()
+        addrs = {d.address for d in buf}
+        assert 0 not in addrs
+        assert {1, 2} <= addrs
+
+
+class TestHeartbeats:
+    def test_eviction_after_threshold(self):
+        node = make_node()
+        node.join(descriptors([1, 2]))
+        threshold = node.config.staleness_threshold
+        evicted = []
+        for _ in range(threshold + 1):
+            evicted += node.heartbeat_step(lambda a: a == 1)
+        assert evicted == [2]
+        assert 2 not in node.rt
+        assert node.rt.get(1).age == 0
+
+
+class TestIntrospection:
+    def test_interested_neighbors(self):
+        node = make_node(0, subs=(1, 2))
+        node.join(descriptors([1, 2]))
+        profiles = {
+            1: make_node(1, subs=(1,)).profile,
+            2: make_node(2, subs=(9,)).profile,
+        }
+        assert node.interested_neighbors(1, profiles.get) == [1]
+        assert node.degree() == 2

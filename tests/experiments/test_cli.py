@@ -1,0 +1,32 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "fig12" in out and "fig9" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_fig9_runs_small(self, capsys):
+        assert main(["fig9", "--scale", "0.02", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_in" in out
+
+    def test_fig8_csv_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        assert main(["fig8", "--scale", "0.02", "--csv", str(csv_path)]) == 0
+        text = csv_path.read_text()
+        assert text.startswith("kind,degree,frequency")
+        assert len(text.splitlines()) > 3
+
+    def test_fig11_small(self, capsys):
+        assert main(["fig11", "--scale", "0.025", "--seed", "1"]) == 0
+        assert "degree" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Tests for the build/converge/measure pipeline."""
+
+import pytest
+
+from repro.core.config import VitisConfig
+from repro.experiments.runner import build_opt, build_rvr, build_vitis, converge, measure
+from repro.sim.metrics import MetricsCollector
+from repro.smallworld.ring import is_ring_converged
+from repro.workloads.publication import power_law_rates
+from tests.conftest import small_subscriptions
+
+CFG = VitisConfig(rt_size=8)
+
+
+@pytest.fixture(scope="module")
+def subs():
+    return small_subscriptions(seed=9)
+
+
+class TestBuilders:
+    def test_build_vitis_converges(self, subs):
+        p = build_vitis(subs, CFG, seed=1, min_cycles=20, max_cycles=100)
+        assert is_ring_converged(p.ids_by_address(), p.successor_map())
+        # Relays installed: some topic has relay state somewhere.
+        assert any(p.nodes[a].relay.topics() for a in p.live_addresses())
+
+    def test_build_rvr(self, subs):
+        p = build_rvr(subs, CFG, seed=1, min_cycles=20, max_cycles=100)
+        topic = p.topics()[0]
+        assert p.gateways_of(topic) == sorted(p.subscribers(topic))
+
+    def test_build_opt_bounded(self, subs):
+        p = build_opt(subs, CFG, seed=1, cycles=15, max_degree=6)
+        assert max(p.degree_distribution()) <= 6
+
+    def test_build_opt_unbounded(self, subs):
+        p = build_opt(subs, CFG, seed=1, cycles=15, max_degree=None)
+        assert p.nodes[0].max_degree is None
+
+    def test_converge_stops_early_when_ring_ready(self, subs):
+        p = build_vitis(subs, CFG, seed=1, min_cycles=20, max_cycles=200)
+        cycles_run = p.cycle
+        assert cycles_run < 200
+
+
+class TestMeasure:
+    @pytest.fixture(scope="class")
+    def vitis(self, subs):
+        return build_vitis(subs, CFG, seed=1, min_cycles=30, max_cycles=100)
+
+    def test_collects_requested_events(self, vitis):
+        col = measure(vitis, 30, seed=2)
+        assert len(col) == 30
+
+    def test_deterministic(self, vitis):
+        a = measure(vitis, 20, seed=5).summary()
+        b = measure(vitis, 20, seed=5).summary()
+        assert a == b
+
+    def test_existing_collector_extended(self, vitis):
+        col = MetricsCollector()
+        measure(vitis, 10, seed=2, collector=col)
+        measure(vitis, 10, seed=3, collector=col)
+        assert len(col) == 20
+
+    def test_topic_restriction(self, vitis):
+        topic = vitis.topics()[0]
+        col = measure(vitis, 10, seed=2, topics=[topic])
+        assert all(r.topic == topic for r in col.records)
+
+    def test_owner_mode_skips_dead_owners(self, vitis):
+        col = measure(vitis, 10, seed=2, publisher="owner")
+        for r in col.records:
+            assert r.publisher == r.topic
+
+    def test_invalid_mode(self, vitis):
+        with pytest.raises(ValueError):
+            measure(vitis, 5, publisher="nobody")
+
+    def test_min_join_age_restricts(self, vitis):
+        # Everyone joined at t=0 and the clock advanced past the warmup,
+        # so a tiny join-age bound changes nothing...
+        a = measure(vitis, 15, seed=2, min_join_age=1.0).summary()
+        b = measure(vitis, 15, seed=2).summary()
+        assert a["hit_ratio"] == b["hit_ratio"]
+        # ...but an impossible bound empties every denominator.
+        c = measure(vitis, 15, seed=2, min_join_age=1e9)
+        assert all(not r.subscribers for r in c.records)
+
+    def test_rates_drive_topic_choice(self, subs):
+        n_topics = 1 + max(t for s in subs for t in s)
+        rates = power_law_rates(n_topics, 3.0, seed=1)
+        p = build_vitis(subs, CFG, seed=1, rates=rates, min_cycles=20, max_cycles=60)
+        col = measure(p, 60, seed=2)
+        topics = [r.topic for r in col.records]
+        # Strong skew: the modal topic dominates.
+        from collections import Counter
+
+        most = Counter(topics).most_common(1)[0][1]
+        assert most > 10

@@ -1,0 +1,154 @@
+"""Smoke tests for the per-figure scenarios at miniature sizes.
+
+Full-size runs live in benchmarks/; here each scenario runs at the
+smallest meaningful size and the row *shapes* and gross orderings are
+asserted.
+"""
+
+import pytest
+
+from repro.experiments import scenarios as sc
+
+TINY = dict(n_nodes=70, n_topics=200, events=60, seed=3)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sc.fig4_friends_vs_sw(
+            friend_counts=(0, 10), patterns=("high",), **TINY
+        )
+
+    def test_row_shape(self, rows):
+        assert {r["system"] for r in rows} == {"vitis", "rvr"}
+        for r in rows:
+            assert {"hit_ratio", "traffic_overhead_pct", "mean_delay_hops"} <= set(r)
+
+    def test_friends_reduce_overhead(self, rows):
+        v = {r["n_friends"]: r["traffic_overhead_pct"] for r in rows if r["system"] == "vitis"}
+        assert v[10] < v[0]
+
+    def test_hit_ratio_full(self, rows):
+        assert all(r["hit_ratio"] == pytest.approx(1.0) for r in rows)
+
+
+class TestFig5:
+    def test_fractions_sum_to_one_per_series(self):
+        rows = sc.fig5_overhead_distribution(n_nodes=70, n_topics=200, events=80, seed=3)
+        from collections import defaultdict
+
+        sums = defaultdict(float)
+        for r in rows:
+            sums[(r["system"], r["pattern"])] += r["fraction_of_nodes"]
+        for key, total in sums.items():
+            assert total == pytest.approx(1.0, abs=1e-6), key
+
+
+class TestFig6:
+    def test_bigger_tables_reduce_overhead(self):
+        rows = sc.fig6_routing_table_size(
+            rt_sizes=(8, 20), patterns=("high",), **TINY
+        )
+        v = {r["rt_size"]: r["traffic_overhead_pct"] for r in rows if r["system"] == "vitis"}
+        assert v[20] <= v[8]
+
+
+class TestFig7:
+    def test_skew_helps_random_pattern(self):
+        rows = sc.fig7_publication_rate(
+            alphas=(0.3, 2.5), patterns=("random",), **TINY
+        )
+        v = {r["alpha"]: r["traffic_overhead_pct"] for r in rows if r["system"] == "vitis"}
+        assert v[2.5] <= v[0.3] * 1.25  # skew must not hurt; usually helps
+
+
+class TestFig8and9:
+    def test_degree_rows(self):
+        rows = sc.fig8_twitter_degrees(n_users=400, seed=3)
+        kinds = {r["kind"] for r in rows}
+        assert kinds == {"in", "out"}
+        assert sum(r["frequency"] for r in rows if r["kind"] == "in") == 400
+
+    def test_summary_stats(self):
+        s = sc.fig9_twitter_summary(n_users=400, seed=3)
+        assert s["users"] == 400
+        assert s["relations"] > 0
+        assert 1.0 < s["alpha_in"] < 3.0
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sc.fig10_twitter_sweep(
+            n_users=700, sample_size=150, rt_sizes=(10,), events=60, seed=3
+        )
+
+    def test_three_systems(self, rows):
+        assert {r["system"] for r in rows} == {"vitis", "rvr", "opt"}
+
+    def test_vitis_and_rvr_full_hit(self, rows):
+        for r in rows:
+            if r["system"] in ("vitis", "rvr"):
+                assert r["hit_ratio"] == pytest.approx(1.0, abs=0.02)
+
+    def test_opt_zero_overhead(self, rows):
+        opt = next(r for r in rows if r["system"] == "opt")
+        assert opt["traffic_overhead_pct"] == 0.0
+
+    def test_vitis_beats_rvr_overhead(self, rows):
+        v = next(r for r in rows if r["system"] == "vitis")
+        r = next(r for r in rows if r["system"] == "rvr")
+        assert v["traffic_overhead_pct"] < r["traffic_overhead_pct"]
+
+
+class TestFig11:
+    def test_degree_distribution_rows(self):
+        rows = sc.fig11_opt_degree_distribution(
+            n_users=700, sample_size=150, cycles=15, seed=3
+        )
+        assert sum(r["frequency"] for r in rows) > 0
+        assert all(r["degree"] >= 0 for r in rows)
+
+
+class TestFig12:
+    def test_churn_series(self):
+        rows = sc.fig12_churn(
+            pool=60,
+            n_topics=60,
+            horizon=60.0,
+            flash_crowd_at=30.0,
+            measure_every=20.0,
+            events_per_window=30,
+            seed=3,
+            systems=("vitis",),
+        )
+        assert len(rows) == 3
+        for r in rows:
+            assert r["live_nodes"] >= 0
+            assert 0 <= r["hit_ratio"] <= 1
+
+
+class TestAblations:
+    def test_gateway_depth_rows(self):
+        rows = sc.ablation_gateway_depth(depths=(1, 6), **TINY)
+        assert {r["gateway_depth"] for r in rows} == {1, 6}
+        d = {r["gateway_depth"]: r for r in rows}
+        # Tighter depth → at least as many gateways per topic.
+        assert d[1]["mean_gateways_per_topic"] >= d[6]["mean_gateways_per_topic"]
+
+    def test_utility_ablation_rows(self):
+        rows = sc.ablation_utility(alpha=2.0, **TINY)
+        assert {r["rate_weighted"] for r in rows} == {True, False}
+
+    def test_sampler_ablation_close_metrics(self):
+        rows = sc.ablation_sampler(**TINY)
+        by = {r["sampler"]: r for r in rows}
+        assert set(by) == {"newscast", "cyclon"}
+        for r in rows:
+            assert r["hit_ratio"] == pytest.approx(1.0, abs=0.02)
+
+
+class TestPatternHelper:
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            sc.make_subscriptions("bogus", 10, 100, 0)

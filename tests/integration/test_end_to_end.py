@@ -1,0 +1,131 @@
+"""End-to-end assertions of the paper's headline claims, at small scale.
+
+These are the qualitative results the reproduction must preserve:
+
+1. Vitis and RVR always reach 100% hit ratio on a converged overlay.
+2. Vitis's traffic overhead is far below RVR's, and shrinks further as
+   subscription correlation grows.
+3. OPT has zero overhead but its bounded-degree variant misses
+   subscribers on a heavy-tailed (Twitter-like) workload.
+4. Vitis's propagation delay is below RVR's (clusters flood; only
+   inter-cluster hops pay routing cost).
+5. The relay-load distribution is flatter under Vitis than RVR (Fig. 5).
+"""
+
+import pytest
+
+from repro.core.config import VitisConfig
+from repro.experiments.runner import build_opt, build_rvr, build_vitis, measure
+from repro.workloads.subscriptions import (
+    high_correlation_subscriptions,
+    random_subscriptions,
+)
+from repro.workloads.twitter import TwitterTrace
+
+N, TOPICS, EVENTS, SEED = 150, 400, 200, 11
+CFG = VitisConfig(rt_size=10)
+
+
+@pytest.fixture(scope="module")
+def corr_subs():
+    return high_correlation_subscriptions(N, TOPICS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def rand_subs():
+    return random_subscriptions(N, TOPICS, per_node=50, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def vitis_corr(corr_subs):
+    p = build_vitis(corr_subs, CFG, seed=SEED)
+    return measure(p, EVENTS, seed=SEED + 1)
+
+
+@pytest.fixture(scope="module")
+def vitis_rand(rand_subs):
+    p = build_vitis(rand_subs, CFG, seed=SEED)
+    return measure(p, EVENTS, seed=SEED + 1)
+
+
+@pytest.fixture(scope="module")
+def rvr_corr(corr_subs):
+    p = build_rvr(corr_subs, CFG, seed=SEED)
+    return measure(p, EVENTS, seed=SEED + 1)
+
+
+class TestHitRatio:
+    def test_vitis_full_hit(self, vitis_corr, vitis_rand):
+        assert vitis_corr.hit_ratio() == 1.0
+        assert vitis_rand.hit_ratio() == 1.0
+
+    def test_rvr_full_hit(self, rvr_corr):
+        assert rvr_corr.hit_ratio() == 1.0
+
+
+class TestTrafficOverhead:
+    def test_vitis_beats_rvr(self, vitis_corr, rvr_corr):
+        """Paper abstract: 40–75% less relay traffic.  At our scale the
+        gap is even wider; assert at least 40% less."""
+        assert vitis_corr.traffic_overhead_pct() < 0.6 * rvr_corr.traffic_overhead_pct()
+
+    def test_correlation_reduces_vitis_overhead(self, vitis_corr, vitis_rand):
+        assert vitis_corr.traffic_overhead_pct() <= vitis_rand.traffic_overhead_pct()
+
+    def test_vitis_random_still_beats_rvr(self, vitis_rand, rvr_corr):
+        """Fig. 4a: even with random subscriptions Vitis stays well below
+        RVR (the paper reports one third at 10k nodes; at this miniature
+        scale random subscriptions fragment into more clusters, so the
+        gap narrows — the ordering is what must hold)."""
+        assert vitis_rand.traffic_overhead_pct() < 0.65 * rvr_corr.traffic_overhead_pct()
+
+
+class TestDelay:
+    def test_vitis_faster_than_rvr(self, vitis_corr, rvr_corr):
+        assert vitis_corr.mean_delay() < rvr_corr.mean_delay()
+
+    def test_delay_bounded_by_log2(self, vitis_corr):
+        """Section III-B: O(log² N) worst case; sanity margin applied."""
+        import math
+
+        bound = math.log2(N) ** 2
+        assert vitis_corr.max_delay() <= bound
+
+
+class TestOverheadDistribution:
+    def test_vitis_load_flatter_than_rvr(self, vitis_corr, rvr_corr):
+        """Fig. 5: the fraction of nodes with >20% overhead drops under
+        Vitis relative to RVR."""
+
+        def frac_above(col, pct):
+            per = col.per_node_overhead()
+            if not per:
+                return 0.0
+            return sum(1 for v in per.values() if v > pct) / len(per)
+
+        assert frac_above(vitis_corr, 20) < frac_above(rvr_corr, 20)
+
+
+class TestOptOnTwitter:
+    @pytest.fixture(scope="class")
+    def twitter_subs(self):
+        trace = TwitterTrace(1500, min_out=3, seed=SEED)
+        return trace.bfs_sample(250, seed=SEED).subscriptions()
+
+    def test_bounded_opt_misses_unbounded_hits(self, twitter_subs):
+        bounded = build_opt(twitter_subs, VitisConfig(rt_size=8), seed=SEED, max_degree=8)
+        col_b = measure(bounded, EVENTS, seed=SEED + 1, publisher="owner")
+        unbounded = build_opt(twitter_subs, VitisConfig(rt_size=8), seed=SEED, max_degree=None)
+        col_u = measure(unbounded, EVENTS, seed=SEED + 1, publisher="owner")
+        assert col_b.hit_ratio() < 1.0
+        assert col_u.hit_ratio() > col_b.hit_ratio()
+
+    def test_opt_zero_overhead(self, twitter_subs):
+        opt = build_opt(twitter_subs, VitisConfig(rt_size=8), seed=SEED, max_degree=8)
+        col = measure(opt, 100, seed=SEED + 1, publisher="owner")
+        assert col.traffic_overhead_pct() == 0.0
+
+    def test_vitis_full_hit_on_twitter(self, twitter_subs):
+        vitis = build_vitis(twitter_subs, VitisConfig(rt_size=10), seed=SEED)
+        col = measure(vitis, 100, seed=SEED + 1, publisher="owner")
+        assert col.hit_ratio() == pytest.approx(1.0, abs=0.01)

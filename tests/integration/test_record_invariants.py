@@ -1,0 +1,98 @@
+"""Cross-cutting invariants of dissemination records.
+
+Checked over every topic of a converged system and for all three
+systems' dissemination engines: the structural facts the metrics'
+correctness silently depends on.
+"""
+
+import pytest
+
+from repro.core.config import VitisConfig
+from repro.experiments.runner import build_opt, build_rvr
+from tests.conftest import small_subscriptions
+
+
+def all_records(protocol, publisher_rule="first"):
+    for topic in protocol.topics():
+        subs = sorted(protocol.subscribers(topic))
+        if not subs:
+            continue
+        yield topic, protocol.publish(topic, subs[0])
+
+
+class TestVitisRecords:
+    def test_delivered_subset_of_subscribers(self, converged_vitis):
+        for _, rec in all_records(converged_vitis):
+            assert set(rec.delivered_hops) <= set(rec.subscribers)
+
+    def test_hops_positive(self, converged_vitis):
+        for _, rec in all_records(converged_vitis):
+            assert all(h >= 1 for h in rec.delivered_hops.values())
+
+    def test_counters_name_live_nodes_only(self, converged_vitis):
+        p = converged_vitis
+        for _, rec in all_records(p):
+            for addr in list(rec.interested_msgs) + list(rec.relay_msgs):
+                assert p.is_alive(addr)
+
+    def test_interested_counter_matches_subscription(self, converged_vitis):
+        p = converged_vitis
+        for topic, rec in all_records(p):
+            for addr in rec.interested_msgs:
+                assert p.profile_of(addr).subscribes_to(topic)
+            for addr in rec.relay_msgs:
+                assert not p.profile_of(addr).subscribes_to(topic)
+
+    def test_relay_recipients_are_on_topic_infrastructure(self, converged_vitis):
+        """A relay message only ever reaches a node with a role: on the
+        topic's relay tree (gateway paths) — never an arbitrary node."""
+        p = converged_vitis
+        for topic, rec in all_records(p):
+            for addr in rec.relay_msgs:
+                assert p.nodes[addr].relay.on_tree(topic), (
+                    f"node {addr} relayed topic {topic} without tree state"
+                )
+
+    def test_total_messages_consistent(self, converged_vitis):
+        for _, rec in all_records(converged_vitis):
+            assert rec.total_messages == (
+                sum(rec.interested_msgs.values()) + sum(rec.relay_msgs.values())
+            )
+
+    def test_publish_is_idempotent_on_static_overlay(self, converged_vitis):
+        p = converged_vitis
+        topic = max(p.topics(), key=lambda t: len(p.subscribers(t)))
+        pub = sorted(p.subscribers(topic))[0]
+        a = p.publish(topic, pub)
+        b = p.publish(topic, pub)
+        assert a.delivered_hops == b.delivered_hops
+        assert a.interested_msgs == b.interested_msgs
+        assert a.relay_msgs == b.relay_msgs
+
+
+class TestBaselineRecords:
+    @pytest.fixture(scope="class")
+    def rvr(self):
+        p = build_rvr(small_subscriptions(seed=31), VitisConfig(rt_size=10), seed=31)
+        return p
+
+    @pytest.fixture(scope="class")
+    def opt(self):
+        return build_opt(small_subscriptions(seed=31), VitisConfig(rt_size=10),
+                         seed=31, max_degree=10)
+
+    def test_rvr_record_invariants(self, rvr):
+        for topic, rec in all_records(rvr):
+            assert set(rec.delivered_hops) <= set(rec.subscribers)
+            for addr in rec.interested_msgs:
+                assert rvr.profile_of(addr).subscribes_to(topic)
+            for addr in rec.relay_msgs:
+                assert not rvr.profile_of(addr).subscribes_to(topic)
+
+    def test_opt_records_never_relay(self, opt):
+        for _, rec in all_records(opt):
+            assert rec.relay_msgs == {}
+
+    def test_opt_delivered_subset(self, opt):
+        for _, rec in all_records(opt):
+            assert set(rec.delivered_hops) <= set(rec.subscribers)

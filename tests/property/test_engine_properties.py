@@ -1,0 +1,75 @@
+"""Property-based tests for the discrete-event engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestEventOrdering:
+    @given(delays)
+    def test_events_fire_in_time_order(self, ds):
+        e = Engine()
+        fired = []
+        for d in ds:
+            e.schedule(d, lambda d=d: fired.append(e.now))
+        e.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(ds)
+
+    @given(delays)
+    def test_clock_monotone(self, ds):
+        e = Engine()
+        stamps = []
+        for d in ds:
+            e.schedule(d, lambda: stamps.append(e.now))
+        last = -1.0
+        while e.step():
+            assert e.now >= last
+            last = e.now
+
+    @given(delays, st.floats(min_value=0.0, max_value=1000.0, allow_nan=False))
+    def test_run_until_horizon_respected(self, ds, horizon):
+        e = Engine()
+        fired = []
+        for d in ds:
+            e.schedule(d, lambda d=d: fired.append(d))
+        e.run(until=horizon)
+        assert all(d <= horizon for d in fired)
+        assert e.now >= min([horizon] + [d for d in ds if d <= horizon] or [0])
+
+    @given(delays)
+    def test_split_run_equals_full_run(self, ds):
+        def run_split(split_at):
+            e = Engine()
+            fired = []
+            for d in ds:
+                e.schedule(d, lambda d=d: fired.append(d))
+            e.run(until=split_at)
+            e.run()
+            return fired
+
+        e = Engine()
+        fired_full = []
+        for d in ds:
+            e.schedule(d, lambda d=d: fired_full.append(d))
+        e.run()
+        assert run_split(500.0) == fired_full
+
+    @given(delays, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=50)
+    def test_max_events_is_prefix(self, ds, k):
+        e1, e2 = Engine(), Engine()
+        f1, f2 = [], []
+        for d in ds:
+            e1.schedule(d, lambda d=d: f1.append(d))
+            e2.schedule(d, lambda d=d: f2.append(d))
+        e1.run()
+        e2.run(max_events=k)
+        assert f2 == f1[:k]

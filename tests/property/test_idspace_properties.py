@@ -1,0 +1,80 @@
+"""Property-based tests for the circular id space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifiers import IdSpace
+
+SPACE = IdSpace(bits=32)
+ids = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+class TestDistanceMetric:
+    @given(ids, ids)
+    def test_symmetry(self, a, b):
+        assert SPACE.distance(a, b) == SPACE.distance(b, a)
+
+    @given(ids)
+    def test_identity(self, a):
+        assert SPACE.distance(a, a) == 0
+
+    @given(ids, ids)
+    def test_bounded_by_half(self, a, b):
+        assert 0 <= SPACE.distance(a, b) <= SPACE.size // 2
+
+    @given(ids, ids, ids)
+    def test_triangle_inequality(self, a, b, c):
+        assert SPACE.distance(a, c) <= SPACE.distance(a, b) + SPACE.distance(b, c)
+
+    @given(ids, ids, ids)
+    def test_translation_invariance(self, a, b, k):
+        assert SPACE.distance(a, b) == SPACE.distance(
+            SPACE.offset(a, k), SPACE.offset(b, k)
+        )
+
+
+class TestClockwise:
+    @given(ids, ids)
+    def test_clockwise_splits_ring(self, a, b):
+        cw = SPACE.clockwise(a, b)
+        ccw = SPACE.clockwise(b, a)
+        if a == b:
+            assert cw == ccw == 0
+        else:
+            assert cw + ccw == SPACE.size
+
+    @given(ids, ids)
+    def test_distance_is_min_of_arcs(self, a, b):
+        cw = SPACE.clockwise(a, b)
+        assert SPACE.distance(a, b) == min(cw, SPACE.size - cw)
+
+    @given(ids, st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_offset_round_trip(self, a, delta):
+        assert SPACE.offset(SPACE.offset(a, delta), -delta) == a
+
+
+class TestHashing:
+    @given(st.text(max_size=40))
+    def test_hash_in_range(self, key):
+        assert 0 <= SPACE.hash_key(key) < SPACE.size
+
+    @given(st.text(max_size=40))
+    def test_hash_stable(self, key):
+        assert SPACE.hash_key(key) == IdSpace(bits=32).hash_key(key)
+
+
+class TestSelection:
+    @given(ids, st.lists(ids, min_size=1, max_size=30))
+    def test_closest_is_argmin(self, target, pool):
+        best = SPACE.closest(target, pool)
+        assert SPACE.distance(best, target) == min(
+            SPACE.distance(i, target) for i in pool
+        )
+
+    @given(ids, st.lists(ids, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_rank_sorted(self, target, pool):
+        ranked = SPACE.rank_by_distance(target, pool)
+        dists = [SPACE.distance(i, target) for i in ranked]
+        assert dists == sorted(dists)
+        assert sorted(ranked) == sorted(pool)

@@ -1,0 +1,86 @@
+"""Property-based tests for metric aggregation."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import DisseminationRecord, MetricsCollector, restrict_record
+
+addresses = st.integers(min_value=0, max_value=40)
+
+
+@st.composite
+def records(draw):
+    subscribers = draw(st.frozensets(addresses, max_size=15))
+    delivered = draw(st.lists(st.sampled_from(sorted(subscribers)), unique=True))\
+        if subscribers else []
+    hops = {a: draw(st.integers(min_value=1, max_value=12)) for a in delivered}
+    interested = Counter(dict(draw(st.dictionaries(addresses, st.integers(1, 5), max_size=10))))
+    relay = Counter(dict(draw(st.dictionaries(addresses, st.integers(1, 5), max_size=10))))
+    return DisseminationRecord(
+        topic=draw(st.integers(0, 100)),
+        event_id=draw(st.integers(0, 100)),
+        publisher=draw(addresses),
+        subscribers=subscribers,
+        delivered_hops=hops,
+        interested_msgs=interested,
+        relay_msgs=relay,
+    )
+
+
+class TestAggregation:
+    @given(st.lists(records(), max_size=15))
+    @settings(max_examples=60)
+    def test_hit_ratio_in_unit_interval(self, recs):
+        c = MetricsCollector()
+        c.extend(recs)
+        assert 0.0 <= c.hit_ratio() <= 1.0
+
+    @given(st.lists(records(), max_size=15))
+    @settings(max_examples=60)
+    def test_overhead_in_percent_range(self, recs):
+        c = MetricsCollector()
+        c.extend(recs)
+        assert 0.0 <= c.traffic_overhead_pct() <= 100.0
+
+    @given(st.lists(records(), max_size=15))
+    @settings(max_examples=60)
+    def test_mean_delay_bounded_by_max(self, recs):
+        c = MetricsCollector()
+        c.extend(recs)
+        assert c.mean_delay() <= c.max_delay()
+
+    @given(st.lists(records(), max_size=15))
+    @settings(max_examples=60)
+    def test_histogram_is_distribution(self, recs):
+        c = MetricsCollector()
+        c.extend(recs)
+        _, fractions = c.overhead_histogram()
+        total = fractions.sum()
+        assert total == 0.0 or abs(total - 1.0) < 1e-9
+
+    @given(st.lists(records(), max_size=10))
+    @settings(max_examples=40)
+    def test_order_independence(self, recs):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.extend(recs)
+        b.extend(list(reversed(recs)))
+        assert a.summary() == b.summary()
+
+
+class TestRestriction:
+    @given(records(), st.frozensets(addresses, max_size=20))
+    @settings(max_examples=60)
+    def test_restriction_never_lowers_per_event_quality(self, rec, keep):
+        out = restrict_record(rec, keep)
+        assert out.subscribers <= rec.subscribers
+        assert set(out.delivered_hops) <= set(rec.delivered_hops)
+        assert out.total_messages == rec.total_messages
+
+    @given(records())
+    @settings(max_examples=60)
+    def test_full_restriction_is_identity(self, rec):
+        out = restrict_record(rec, rec.subscribers)
+        assert out.subscribers == rec.subscribers
+        assert out.delivered_hops == rec.delivered_hops

@@ -1,0 +1,124 @@
+"""Property-based tests for relay-path installation.
+
+Hypothesis generates arbitrary batches of greedy-lookup paths (as the
+gateway lookups of one topic would produce: distinct starting points, a
+shared suffix structure arising from grafts) and asserts the structural
+invariants of the installed relay state:
+
+1. at most one parent per (node, topic);
+2. parent/child pointers are mutually consistent;
+3. the installed edges form a forest (no cycles);
+4. every installed node reaches a root by following parents;
+5. re-installing the same paths is idempotent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relay import RelayStats, RelayTable, install_path
+from repro.smallworld.routing import LookupResult
+
+N_NODES = 12
+TOPIC = 1
+
+
+@st.composite
+def path_batches(draw):
+    """Batches of greedy-lookup-shaped paths over a small universe.
+
+    Real relay paths are greedy routes toward one target id: every hop
+    *strictly decreases* the (objective) circular distance to the target,
+    so any two paths of the same topic are strictly decreasing in the
+    same node ordering — that precondition is what makes cross-path
+    cycles impossible, and the generator encodes it by drawing paths that
+    descend a common random rank permutation.  Overlaps between paths
+    remain arbitrary (the grafting cases).
+    """
+    ranks = draw(st.permutations(range(N_NODES)))
+    rank_of = {node: r for node, r in zip(range(N_NODES), ranks)}
+    n_paths = draw(st.integers(min_value=1, max_value=6))
+    paths = []
+    for _ in range(n_paths):
+        nodes = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=N_NODES - 1),
+                min_size=1,
+                max_size=N_NODES,
+                unique=True,
+            )
+        )
+        # Descending distance == descending rank toward the target.
+        paths.append(sorted(nodes, key=lambda n: -rank_of[n]))
+    return paths
+
+
+def install_all(paths):
+    tables = {a: RelayTable(a) for a in range(N_NODES)}
+    stats = RelayStats()
+    for p in paths:
+        install_path(TOPIC, LookupResult(target_id=0, path=list(p), success=True),
+                      tables, stats)
+    return tables, stats
+
+
+class TestRelayInvariants:
+    @given(path_batches())
+    @settings(max_examples=100)
+    def test_parent_child_consistency(self, paths):
+        tables, _ = install_all(paths)
+        for a, t in tables.items():
+            parent = t.parent.get(TOPIC)
+            if parent is not None:
+                assert a in tables[parent].children.get(TOPIC, set())
+            for child in t.children.get(TOPIC, set()):
+                assert tables[child].parent.get(TOPIC) == a
+
+    @given(path_batches())
+    @settings(max_examples=100)
+    def test_no_cycles(self, paths):
+        tables, _ = install_all(paths)
+        for a in range(N_NODES):
+            seen = set()
+            cur = a
+            while TOPIC in tables[cur].parent:
+                assert cur not in seen, f"cycle through {cur}"
+                seen.add(cur)
+                cur = tables[cur].parent[TOPIC]
+
+    @given(path_batches())
+    @settings(max_examples=100)
+    def test_single_parent(self, paths):
+        tables, _ = install_all(paths)
+        for t in tables.values():
+            # dict structure enforces this, but drop_topic/add interplay
+            # could break it; assert the semantic version: a node is a
+            # child of at most one other node.
+            parents_claiming = [
+                a for a, other in tables.items()
+                if t.address in other.children.get(TOPIC, set())
+            ]
+            assert len(parents_claiming) <= 1
+
+    @given(path_batches())
+    @settings(max_examples=60)
+    def test_reinstall_idempotent(self, paths):
+        tables1, _ = install_all(paths)
+        tables2, _ = install_all(paths + paths)
+        for a in range(N_NODES):
+            assert tables1[a].parent == tables2[a].parent
+            assert tables1[a].children == tables2[a].children
+
+    @given(path_batches())
+    @settings(max_examples=60)
+    def test_stats_counts(self, paths):
+        _, stats = install_all(paths)
+        assert stats.paths_installed == len(paths)
+        assert stats.total_path_hops == sum(len(p) - 1 for p in paths)
+
+    @given(path_batches())
+    @settings(max_examples=60)
+    def test_tree_neighbors_symmetric(self, paths):
+        tables, _ = install_all(paths)
+        for a, t in tables.items():
+            for b in t.tree_neighbors(TOPIC):
+                assert a in tables[b].tree_neighbors(TOPIC)

@@ -1,0 +1,125 @@
+"""Property-based tests for greedy routing and ring helpers."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifiers import IdSpace
+from repro.gossip.view import Descriptor
+from repro.smallworld.ring import find_predecessor, find_successor, ring_edges
+from repro.smallworld.routing import greedy_route
+
+SPACE = IdSpace(bits=32)
+
+populations = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=2, max_size=60, unique=True
+)
+
+
+def overlay(addresses, extra_links=2, seed=0):
+    """A correct ring plus random long links over hashed ids."""
+    rng = random.Random(seed)
+    ids = {a: SPACE.hash_key(("n", a)) for a in addresses}
+    order = sorted(ids, key=lambda a: ids[a])
+    n = len(order)
+    neighbors = {a: set() for a in ids}
+    for i, a in enumerate(order):
+        neighbors[a].update({order[(i + 1) % n], order[(i - 1) % n]})
+    addr_list = list(addresses)
+    for a in ids:
+        for _ in range(extra_links):
+            b = rng.choice(addr_list)
+            if b != a:
+                neighbors[a].add(b)
+    return ids, neighbors
+
+
+class TestGreedyRouting:
+    @given(populations, st.integers(min_value=0, max_value=SPACE.size - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_terminates_at_global_minimum(self, addrs, target):
+        ids, neighbors = overlay(addrs)
+        start = addrs[0]
+        result = greedy_route(
+            SPACE,
+            target,
+            start,
+            ids[start],
+            neighbors_of=lambda a: [(b, ids[b]) for b in neighbors[a]],
+            is_alive=lambda a: True,
+        )
+        assert result.success
+        truth = min(ids.values(), key=lambda i: SPACE.distance(i, target))
+        assert ids[result.rendezvous] == truth
+
+    @given(populations, st.integers(min_value=0, max_value=SPACE.size - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_consistency(self, addrs, target):
+        """Any two starting points reach the same rendezvous."""
+        ids, neighbors = overlay(addrs)
+        ends = set()
+        for start in addrs[:4]:
+            r = greedy_route(
+                SPACE,
+                target,
+                start,
+                ids[start],
+                neighbors_of=lambda a: [(b, ids[b]) for b in neighbors[a]],
+                is_alive=lambda a: True,
+            )
+            ends.add(r.rendezvous)
+        assert len(ends) == 1
+
+    @given(populations, st.integers(min_value=0, max_value=SPACE.size - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_distances_strictly_decrease(self, addrs, target):
+        ids, neighbors = overlay(addrs)
+        start = addrs[0]
+        r = greedy_route(
+            SPACE,
+            target,
+            start,
+            ids[start],
+            neighbors_of=lambda a: [(b, ids[b]) for b in neighbors[a]],
+            is_alive=lambda a: True,
+        )
+        dists = [SPACE.distance(ids[a], target) for a in r.path]
+        assert all(x > y for x, y in zip(dists, dists[1:]))
+
+
+class TestRingHelpers:
+    @given(populations)
+    @settings(max_examples=60)
+    def test_ring_edges_form_one_cycle(self, addrs):
+        ids = {a: SPACE.hash_key(("n", a)) for a in addrs}
+        edges = dict(ring_edges(ids))
+        # Follow successors: must visit every node exactly once.
+        start = addrs[0]
+        seen = [start]
+        cur = edges[start]
+        while cur != start:
+            seen.append(cur)
+            cur = edges[cur]
+        assert sorted(seen) == sorted(addrs)
+
+    @given(populations)
+    @settings(max_examples=60)
+    def test_successor_matches_ring_truth(self, addrs):
+        ids = {a: SPACE.hash_key(("n", a)) for a in addrs}
+        truth = dict(ring_edges(ids))
+        for a in addrs:
+            cands = [Descriptor(b, ids[b]) for b in addrs if b != a]
+            succ = find_successor(SPACE, ids[a], cands)
+            assert succ.address == truth[a]
+
+    @given(populations)
+    @settings(max_examples=60)
+    def test_predecessor_inverts_successor(self, addrs):
+        ids = {a: SPACE.hash_key(("n", a)) for a in addrs}
+        truth = dict(ring_edges(ids))
+        inverse = {v: k for k, v in truth.items()}
+        for a in addrs:
+            cands = [Descriptor(b, ids[b]) for b in addrs if b != a]
+            pred = find_predecessor(SPACE, ids[a], cands)
+            assert pred.address == inverse[a]

@@ -1,0 +1,114 @@
+"""Tests for churn schedules."""
+
+import random
+
+import pytest
+
+from repro.sim.churn import ChurnEvent, ChurnSchedule
+from repro.sim.engine import Engine
+
+
+class TestChurnEvent:
+    def test_valid_kinds(self):
+        ChurnEvent(0.0, 1, "join")
+        ChurnEvent(0.0, 1, "leave")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(0.0, 1, "reboot")
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(-1.0, 1, "join")
+
+
+class TestSchedule:
+    def test_sorted_by_time(self):
+        s = ChurnSchedule([ChurnEvent(2.0, 1, "join"), ChurnEvent(1.0, 2, "join")])
+        assert [e.time for e in s] == [1.0, 2.0]
+
+    def test_horizon(self):
+        s = ChurnSchedule([ChurnEvent(5.0, 1, "join")])
+        assert s.horizon == 5.0
+        assert ChurnSchedule([]).horizon == 0.0
+
+    def test_from_sessions(self):
+        s = ChurnSchedule.from_sessions([(1, 0.0, 2.0), (2, 1.0, 3.0)])
+        assert len(s) == 4
+        kinds = [(e.time, e.kind) for e in s]
+        assert kinds == [(0.0, "join"), (1.0, "join"), (2.0, "leave"), (3.0, "leave")]
+
+    def test_from_sessions_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            ChurnSchedule.from_sessions([(1, 2.0, 1.0)])
+
+    def test_clipped(self):
+        s = ChurnSchedule.from_sessions([(1, 0.0, 10.0)])
+        assert len(s.clipped(5.0)) == 1
+
+    def test_shifted(self):
+        s = ChurnSchedule([ChurnEvent(1.0, 1, "join")]).shifted(2.0)
+        assert s.events[0].time == 3.0
+
+    def test_merged(self):
+        a = ChurnSchedule([ChurnEvent(1.0, 1, "join")])
+        b = ChurnSchedule([ChurnEvent(2.0, 2, "join")])
+        assert len(a.merged(b)) == 2
+
+
+class TestGenerators:
+    def test_poisson_alternates_join_leave(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        s = ChurnSchedule.poisson(rng, range(10), rate_per_node=0.1, horizon=100, mean_session=5)
+        per_node = {}
+        for e in s:
+            per_node.setdefault(e.address, []).append(e.kind)
+        for kinds in per_node.values():
+            assert kinds[0] == "join"
+            for a, b in zip(kinds, kinds[1:]):
+                assert a != b  # strict alternation
+
+    def test_poisson_rejects_bad_rates(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            ChurnSchedule.poisson(rng, [1], rate_per_node=0, horizon=10, mean_session=5)
+
+    def test_flash_crowd(self):
+        s = ChurnSchedule.flash_crowd([1, 2, 3], at=10.0)
+        assert all(e.time == 10.0 and e.kind == "join" for e in s)
+
+    def test_flash_crowd_with_spread(self, rng):
+        s = ChurnSchedule.flash_crowd([1, 2, 3], at=10.0, spread=2.0, rng=rng)
+        assert all(10.0 <= e.time <= 12.0 for e in s)
+
+
+class TestApply:
+    def test_callbacks_fire_in_order(self):
+        e = Engine()
+        log = []
+        s = ChurnSchedule.from_sessions([(1, 1.0, 3.0), (2, 2.0, 4.0)])
+        n = s.apply(e, join=lambda a: log.append(("j", a, e.now)), leave=lambda a: log.append(("l", a, e.now)))
+        assert n == 4
+        e.run()
+        assert log == [("j", 1, 1.0), ("j", 2, 2.0), ("l", 1, 3.0), ("l", 2, 4.0)]
+
+    def test_apply_rejects_past_events(self):
+        e = Engine()
+        e.schedule(5.0, lambda: None)
+        e.run()
+        s = ChurnSchedule([ChurnEvent(1.0, 1, "join")])
+        with pytest.raises(ValueError):
+            s.apply(e, lambda a: None, lambda a: None)
+
+
+class TestPopulationSeries:
+    def test_counts_net_population(self):
+        s = ChurnSchedule.from_sessions([(1, 0.0, 10.0), (2, 5.0, 10.0)])
+        series = dict(s.population_series(resolution=5.0))
+        assert series[0.0] == 1
+        assert series[5.0] == 2
+        assert series[10.0] == 0

@@ -1,0 +1,79 @@
+"""Tests for the message dataclasses."""
+
+from repro.sim.messages import (
+    LookupMessage,
+    Message,
+    Notification,
+    ProfileMessage,
+    PsExchangeReply,
+    PsExchangeRequest,
+    PullReply,
+    PullRequest,
+    RelayInstall,
+    RtExchangeReply,
+    RtExchangeRequest,
+)
+
+
+class TestBaseMessage:
+    def test_kind_is_class_name(self):
+        assert Message(src=0, dst=1).kind == "Message"
+        assert Notification(src=0, dst=1).kind == "Notification"
+
+    def test_default_size(self):
+        assert Message(src=0, dst=1).size == 1
+
+    def test_size_override(self):
+        assert PullReply(src=0, dst=1, size=1000).size == 1000
+
+
+class TestNotification:
+    def test_fields(self):
+        n = Notification(src=1, dst=2, topic=7, event_id=9, hops=3, publisher=1)
+        assert (n.topic, n.event_id, n.hops, n.publisher) == (7, 9, 3, 1)
+
+    def test_defaults_are_sentinels(self):
+        n = Notification(src=1, dst=2)
+        assert n.topic == -1 and n.event_id == -1 and n.hops == 0
+
+
+class TestPullMessages:
+    def test_request_reply_pair(self):
+        req = PullRequest(src=2, dst=1, event_id=9)
+        rep = PullReply(src=1, dst=2, event_id=9, payload=b"data")
+        assert req.event_id == rep.event_id
+        assert rep.payload == b"data"
+
+
+class TestExchangeMessages:
+    def test_ps_exchange_carries_views(self):
+        req = PsExchangeRequest(src=0, dst=1, view=[(2, 22, 0)])
+        rep = PsExchangeReply(src=1, dst=0, view=[(3, 33, 1)])
+        assert req.view[0][0] == 2
+        assert rep.view[0][2] == 1
+
+    def test_rt_exchange_carries_buffers(self):
+        req = RtExchangeRequest(src=0, dst=1, buffer=[(2, 22, 0)])
+        rep = RtExchangeReply(src=1, dst=0, buffer=[])
+        assert req.buffer and not rep.buffer
+
+    def test_default_containers_are_independent(self):
+        a = PsExchangeRequest(src=0, dst=1)
+        b = PsExchangeRequest(src=0, dst=2)
+        a.view.append((9, 9, 9))
+        assert b.view == []
+
+
+class TestRoutingMessages:
+    def test_lookup_fields(self):
+        m = LookupMessage(src=0, dst=1, target_id=55, origin=0, hops=2)
+        assert m.target_id == 55 and m.hops == 2
+
+    def test_relay_install_fields(self):
+        m = RelayInstall(src=0, dst=1, topic=4, target_id=55, origin=0, hops=1)
+        assert m.topic == 4 and m.origin == 0
+
+    def test_profile_message_payload_roundtrip(self):
+        payload = (frozenset({1, 2}), 3, {}, False)
+        m = ProfileMessage(src=0, dst=1, profile=payload)
+        assert m.profile[0] == frozenset({1, 2})

@@ -1,0 +1,84 @@
+"""Tests for the time-series recorder."""
+
+import pytest
+
+from repro.sim.monitors import TimeSeries
+
+
+class TestRecording:
+    def test_record_and_read(self):
+        ts = TimeSeries()
+        ts.record("hit", 1.0, 0.9)
+        ts.record("hit", 2.0, 1.0)
+        assert ts.series("hit") == [(1.0, 0.9), (2.0, 1.0)]
+        assert ts.latest("hit") == 1.0
+        assert len(ts) == 2
+
+    def test_time_order_enforced(self):
+        ts = TimeSeries()
+        ts.record("x", 5.0, 1)
+        with pytest.raises(ValueError):
+            ts.record("x", 4.0, 2)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.record("x", 5.0, 1)
+        ts.record("x", 5.0, 2)
+        assert len(ts.series("x")) == 2
+
+    def test_record_many(self):
+        ts = TimeSeries()
+        ts.record_many(1.0, {"a": 1, "b": 2})
+        assert ts.latest("a") == 1 and ts.latest("b") == 2
+
+    def test_names_sorted(self):
+        ts = TimeSeries()
+        ts.record("b", 0, 1)
+        ts.record("a", 0, 1)
+        assert ts.names() == ["a", "b"]
+
+    def test_missing_series(self):
+        ts = TimeSeries()
+        assert ts.series("nope") == []
+        assert ts.latest("nope") is None
+
+
+class TestWindows:
+    def setup_method(self):
+        self.ts = TimeSeries()
+        for t in range(10):
+            self.ts.record("v", float(t), float(t * t))
+
+    def test_window_half_open(self):
+        assert self.ts.window("v", 2.0, 5.0) == [4.0, 9.0, 16.0]
+
+    def test_window_mean(self):
+        assert self.ts.window_mean("v", 0.0, 3.0) == pytest.approx((0 + 1 + 4) / 3)
+
+    def test_window_min(self):
+        assert self.ts.window_min("v", 3.0, 6.0) == 9.0
+
+    def test_empty_window(self):
+        assert self.ts.window("v", 100.0, 200.0) == []
+        assert self.ts.window_mean("v", 100.0, 200.0) is None
+
+
+class TestRows:
+    def test_alignment_with_gaps(self):
+        ts = TimeSeries()
+        ts.record("a", 1.0, 10)
+        ts.record("a", 2.0, 20)
+        ts.record("b", 2.0, 200)
+        rows = ts.to_rows()
+        assert rows == [
+            {"time": 1.0, "a": 10.0, "b": None},
+            {"time": 2.0, "a": 20.0, "b": 200.0},
+        ]
+
+    def test_renders_with_reporting(self):
+        from repro.experiments.reporting import format_table
+
+        ts = TimeSeries()
+        ts.record_many(0.0, {"hit": 1.0})
+        out = format_table(ts.to_rows())
+        assert "hit" in out

@@ -1,0 +1,165 @@
+"""Tests for the node registry and message transport."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.messages import Message, Notification
+from repro.sim.network import ConstantLatency, Network, UniformLatency
+from repro.sim.node import BaseNode
+
+
+class Recorder(BaseNode):
+    def __init__(self, address):
+        super().__init__(address)
+        self.received = []
+
+    def on_message(self, msg):
+        self.received.append(msg)
+
+
+def make_net(latency=None):
+    e = Engine()
+    return e, Network(e, latency)
+
+
+class TestRegistry:
+    def test_register_assigns_sequential_addresses(self):
+        _, net = make_net()
+        a = net.register(Recorder)
+        b = net.register(Recorder)
+        assert (a.address, b.address) == (0, 1)
+
+    def test_factory_must_honor_address(self):
+        _, net = make_net()
+        with pytest.raises(ValueError):
+            net.register(lambda addr: Recorder(addr + 1))
+
+    def test_add_external_node(self):
+        _, net = make_net()
+        n = Recorder(5)
+        net.add(n)
+        assert net.get(5) is n
+        assert net.register(Recorder).address == 6
+
+    def test_add_duplicate_rejected(self):
+        _, net = make_net()
+        net.add(Recorder(1))
+        with pytest.raises(ValueError):
+            net.add(Recorder(1))
+
+    def test_get_unknown_returns_none(self):
+        _, net = make_net()
+        assert net.get(99) is None
+
+    def test_node_unknown_raises(self):
+        _, net = make_net()
+        with pytest.raises(KeyError):
+            net.node(99)
+
+    def test_liveness(self):
+        _, net = make_net()
+        n = net.register(Recorder)
+        assert not net.is_alive(n.address)
+        n.start()
+        assert net.is_alive(n.address)
+        n.stop()
+        assert not net.is_alive(n.address)
+
+    def test_live_counts(self):
+        _, net = make_net()
+        nodes = [net.register(Recorder) for _ in range(4)]
+        for n in nodes[:3]:
+            n.start()
+        assert net.live_count() == 3
+        assert len(net.live_nodes()) == 3
+        assert len(net) == 4
+        assert net.addresses == [0, 1, 2, 3]
+
+
+class TestTransport:
+    def test_send_delivers_via_engine(self):
+        e, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        net.send(Message(src=a.address, dst=b.address))
+        assert b.received == []  # not yet: engine hasn't run
+        e.run()
+        assert len(b.received) == 1
+
+    def test_send_sync_is_immediate(self):
+        _, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        assert net.send_sync(Message(src=0, dst=1)) is True
+        assert len(b.received) == 1
+
+    def test_drop_to_dead_node(self):
+        e, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start()  # b stays down
+        net.send(Message(src=0, dst=1))
+        e.run()
+        assert b.received == []
+        assert net.dropped["Message"] == 1
+
+    def test_drop_to_unknown_address(self):
+        e, net = make_net()
+        a = net.register(Recorder)
+        a.start()
+        net.send(Message(src=0, dst=77))
+        e.run()
+        assert net.dropped["Message"] == 1
+
+    def test_traffic_accounting(self):
+        e, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        net.send(Notification(src=0, dst=1, topic=3, size=10))
+        e.run()
+        assert net.sent["Notification"] == 1
+        assert net.delivered["Notification"] == 1
+        assert net.bytes_sent == 10
+
+    def test_reset_traffic(self):
+        _, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        net.send_sync(Message(src=0, dst=1))
+        net.reset_traffic()
+        assert net.sent == {} and net.bytes_sent == 0
+
+    def test_constant_latency_delays_delivery(self):
+        e = Engine()
+        net = Network(e, ConstantLatency(2.5))
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        net.send(Message(src=0, dst=1))
+        e.run()
+        assert e.now == 2.5
+
+
+class TestLatencyModels:
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_in_range(self, rng):
+        m = UniformLatency(1.0, 2.0, rng)
+        for _ in range(50):
+            assert 1.0 <= m.delay(0, 1) <= 2.0
+
+    def test_uniform_rejects_bad_range(self, rng):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0, rng)
+
+
+class TestBaseNode:
+    def test_joined_at_records_time(self):
+        e, net = make_net()
+        n = net.register(Recorder)
+        e.schedule(5.0, n.start)
+        e.run()
+        assert n.joined_at == 5.0
+
+    def test_repr(self):
+        assert "addr=3" in repr(Recorder(3))

@@ -1,0 +1,78 @@
+"""Tests for ring maintenance helpers."""
+
+from repro.core.identifiers import IdSpace
+from repro.gossip.view import Descriptor
+from repro.smallworld.ring import (
+    find_predecessor,
+    find_successor,
+    is_ring_converged,
+    ring_edges,
+)
+
+SPACE = IdSpace(bits=8)  # size 256 for readable tests
+
+
+def d(addr, node_id):
+    return Descriptor(addr, node_id)
+
+
+class TestSuccessorPredecessor:
+    def test_successor_is_min_clockwise(self):
+        cands = [d(1, 50), d(2, 200), d(3, 10)]
+        assert find_successor(SPACE, 40, cands).address == 1
+
+    def test_successor_wraps(self):
+        cands = [d(1, 10), d(2, 30)]
+        assert find_successor(SPACE, 250, cands).address == 1
+
+    def test_predecessor_is_min_counterclockwise(self):
+        cands = [d(1, 50), d(2, 200), d(3, 10)]
+        assert find_predecessor(SPACE, 40, cands).address == 3
+
+    def test_predecessor_wraps(self):
+        cands = [d(1, 200), d(2, 100)]
+        assert find_predecessor(SPACE, 50, cands).address == 1
+
+    def test_same_id_skipped(self):
+        cands = [d(1, 40), d(2, 60)]
+        assert find_successor(SPACE, 40, cands).address == 2
+        assert find_predecessor(SPACE, 40, [d(1, 40)]) is None
+
+    def test_empty_candidates(self):
+        assert find_successor(SPACE, 40, []) is None
+        assert find_predecessor(SPACE, 40, []) is None
+
+    def test_tie_broken_by_address(self):
+        cands = [d(5, 50), d(2, 50)]
+        assert find_successor(SPACE, 40, cands).address == 2
+
+
+class TestRingEdges:
+    def test_orders_by_id(self):
+        ids = {10: 100, 11: 5, 12: 200}
+        edges = ring_edges(ids)
+        assert edges == [(11, 10), (10, 12), (12, 11)]
+
+    def test_single_node(self):
+        assert ring_edges({1: 5}) == [(1, 1)]
+
+
+class TestConvergence:
+    def test_converged_ring(self):
+        ids = {0: 10, 1: 20, 2: 30}
+        succ = {0: 1, 1: 2, 2: 0}
+        assert is_ring_converged(ids, succ)
+
+    def test_wrong_pointer_detected(self):
+        ids = {0: 10, 1: 20, 2: 30}
+        succ = {0: 2, 1: 2, 2: 0}
+        assert not is_ring_converged(ids, succ)
+
+    def test_missing_pointer_detected(self):
+        ids = {0: 10, 1: 20, 2: 30}
+        succ = {0: 1, 1: 2}
+        assert not is_ring_converged(ids, succ)
+
+    def test_trivial_populations(self):
+        assert is_ring_converged({}, {})
+        assert is_ring_converged({1: 5}, {})

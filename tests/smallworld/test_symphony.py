@@ -1,0 +1,73 @@
+"""Tests for Symphony harmonic long links."""
+
+import math
+import random
+
+import numpy as np
+
+from repro.core.identifiers import IdSpace
+from repro.gossip.view import Descriptor
+from repro.smallworld.symphony import (
+    closest_to_target,
+    draw_sw_target,
+    harmonic_fraction,
+)
+
+
+class TestHarmonicFraction:
+    def test_range(self, rng):
+        n = 1000
+        for _ in range(500):
+            x = harmonic_fraction(rng, n)
+            assert 1 / n <= x <= 1.0
+
+    def test_distribution_shape(self):
+        """The harmonic pdf p(x)=1/(x ln n) puts equal mass in each
+        logarithmic decade: check the log of the draws is ~uniform."""
+        rng = random.Random(7)
+        n = 2**16
+        draws = [harmonic_fraction(rng, n) for _ in range(4000)]
+        logs = np.log(draws) / math.log(n) + 1.0  # maps to [0, 1]
+        hist, _ = np.histogram(logs, bins=4, range=(0, 1))
+        # Each quarter should hold roughly 1000 draws.
+        assert all(800 < h < 1200 for h in hist)
+
+    def test_small_n_clamped(self, rng):
+        # n below 2 must not blow up (log(1) == 0 division).
+        x = harmonic_fraction(rng, 1)
+        assert 0 < x <= 1.0
+
+    def test_deterministic_given_rng(self):
+        a = harmonic_fraction(random.Random(3), 100)
+        b = harmonic_fraction(random.Random(3), 100)
+        assert a == b
+
+
+class TestDrawTarget:
+    def test_target_in_space(self, rng):
+        space = IdSpace(bits=16)
+        for _ in range(100):
+            t = draw_sw_target(space, 1234, rng, 500)
+            assert 0 <= t < space.size
+
+    def test_target_is_clockwise_offset(self):
+        space = IdSpace(bits=16)
+        rng = random.Random(1)
+        node = 1000
+        t = draw_sw_target(space, node, rng, 500)
+        assert t != node  # delta floored at 1
+
+
+class TestClosestToTarget:
+    def test_picks_minimal_circular_distance(self):
+        space = IdSpace(bits=8)
+        cands = [Descriptor(1, 10), Descriptor(2, 100), Descriptor(3, 250)]
+        assert closest_to_target(space, 0, cands).address == 3  # dist 6 wraps
+
+    def test_empty(self):
+        assert closest_to_target(IdSpace(8), 0, []) is None
+
+    def test_tie_broken_by_address(self):
+        space = IdSpace(bits=8)
+        cands = [Descriptor(9, 10), Descriptor(2, 30)]
+        assert closest_to_target(space, 20, cands).address == 2

@@ -1,0 +1,29 @@
+"""Smoke checks for the example scripts.
+
+Each example is importable (no side effects at import time thanks to the
+``__main__`` guards) and exposes a ``main`` callable.  Full executions
+are exercised manually / in CI shells — they are demonstrations, not
+fixtures — but the importability check catches API drift the moment a
+public symbol an example uses changes.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5

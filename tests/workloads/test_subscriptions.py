@@ -1,0 +1,103 @@
+"""Tests for the synthetic subscription models."""
+
+import pytest
+
+from repro.workloads.subscriptions import (
+    bucket_subscriptions,
+    high_correlation_subscriptions,
+    low_correlation_subscriptions,
+    random_subscriptions,
+)
+
+
+def jaccard_samples(subs, pairs=3000, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    out = []
+    n = len(subs)
+    for _ in range(pairs):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        inter = len(subs[a] & subs[b])
+        union = len(subs[a] | subs[b])
+        out.append(inter / union if union else 0)
+    return out
+
+
+class TestRandom:
+    def test_shape(self):
+        subs = random_subscriptions(50, n_topics=500, per_node=20, seed=1)
+        assert len(subs) == 50
+        assert all(len(s) == 20 for s in subs)
+        assert all(0 <= t < 500 for s in subs for t in s)
+
+    def test_deterministic(self):
+        a = random_subscriptions(10, 100, 5, seed=3)
+        b = random_subscriptions(10, 100, 5, seed=3)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = random_subscriptions(10, 100, 5, seed=3)
+        b = random_subscriptions(10, 100, 5, seed=4)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_subscriptions(5, n_topics=10, per_node=20)
+
+
+class TestBuckets:
+    def test_paper_shape_low(self):
+        subs = low_correlation_subscriptions(50, n_topics=5000, seed=1)
+        assert all(len(s) == 50 for s in subs)
+
+    def test_paper_shape_high(self):
+        subs = high_correlation_subscriptions(50, n_topics=5000, seed=1)
+        assert all(len(s) == 50 for s in subs)
+
+    def test_high_topics_span_two_buckets(self):
+        subs = high_correlation_subscriptions(50, n_topics=5000, seed=1)
+        for s in subs:
+            buckets = {t // 50 for t in s}
+            assert len(buckets) == 2
+
+    def test_low_topics_span_five_buckets(self):
+        subs = low_correlation_subscriptions(50, n_topics=5000, seed=1)
+        for s in subs:
+            buckets = {t // 50 for t in s}
+            assert len(buckets) == 5
+
+    def test_correlation_ordering(self):
+        """The paper's point: high > low > random interest *correlation*.
+
+        All three patterns share the same uniform average topic popularity
+        (and hence nearly identical mean pairwise Jaccard); what grows
+        with the correlation level is the dispersion — some pairs become
+        very similar — which is exactly what Eq. 1 exploits.  Variance of
+        the pairwise Jaccard captures that.
+        """
+        import statistics
+
+        n, topics = 150, 1000
+        var = {
+            "rand": statistics.variance(jaccard_samples(random_subscriptions(n, topics, 50, seed=2))),
+            "low": statistics.variance(jaccard_samples(low_correlation_subscriptions(n, topics, seed=2))),
+            "high": statistics.variance(jaccard_samples(high_correlation_subscriptions(n, topics, seed=2))),
+        }
+        assert var["high"] > var["low"] > var["rand"]
+
+    def test_scaled_down_topics_keep_bucket_size(self):
+        subs = high_correlation_subscriptions(20, n_topics=500, seed=1)
+        assert all(len(s) == 50 for s in subs)
+        for s in subs:
+            assert len({t // 50 for t in s}) == 2
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            bucket_subscriptions(5, n_topics=99, n_buckets=10)
+        with pytest.raises(ValueError):
+            bucket_subscriptions(5, n_topics=100, n_buckets=10, topics_per_bucket=20)
+        with pytest.raises(ValueError):
+            bucket_subscriptions(5, n_topics=100, n_buckets=10, buckets_per_node=11)
