@@ -208,15 +208,40 @@ class OptProtocol(OverlayProtocolBase):
 
     # ------------------------------------------------------------------
     def _protocol_round(self, cycle: int, live: List[OptNode]) -> None:
+        tel = self.telemetry
         ps_registry = {n.address: n.ps for n in self.nodes.values() if n.alive}
+        ps_ok = ex_ok = pruned = 0
         for node in live:
-            node.ps.step(ps_registry, self.is_alive)
+            if node.ps.step(ps_registry, self.is_alive) is not None:
+                ps_ok += 1
         for node in live:
-            node.gossip_exchange(
+            peer = node.gossip_exchange(
                 self.nodes.get, self.is_alive, self.profile_of, self.config.sample_size
             )
+            if peer is not None:
+                ex_ok += 1
         for node in live:
+            before = len(node.neighbors)
             node.prune_dead(self.is_alive)
+            pruned += before - len(node.neighbors)
+        if tel.enabled:
+            # Same ``gossip_exchange`` trace schema as Vitis/RVR (the
+            # coverage exchange plays the T-Man role; pruned dead links
+            # play the eviction role), so runs are comparable.
+            m = tel.metrics
+            m.counter("gossip_ps_exchanges_total", system=self.name).inc(ps_ok)
+            m.counter("gossip_tman_exchanges_total", system=self.name).inc(ex_ok)
+            m.counter("rt_evictions_total", system=self.name).inc(pruned)
+            m.gauge("live_nodes", system=self.name).set(len(live))
+            tel.event(
+                "gossip_exchange",
+                t=self.engine.now,
+                cycle=cycle,
+                live=len(live),
+                ps=ps_ok,
+                tman=ex_ok,
+                evicted=pruned,
+            )
 
     # ------------------------------------------------------------------
     # Topology: link negotiation under the degree bound

@@ -69,6 +69,12 @@ class RvrProtocol(VitisProtocol):
         node = self.nodes[publisher]
         if node.relay.on_tree(topic):
             return set(node.relay.tree_neighbors(topic)), []
+        # Off-tree publishers pay a rendezvous lookup per event — worth its
+        # own counter because it is the traffic RVR's trees cannot avoid.
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "offtree_publishes_total", system=self.name
+            ).inc()
         lr = self.lookup(publisher, self.topic_id(topic))
         if lr.success and len(lr.path) > 1:
             return set(), lr.path

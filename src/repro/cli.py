@@ -10,15 +10,28 @@
 Each figure command runs the corresponding scenario at its default
 (bench) size multiplied by ``--scale`` and prints the row table; ``--csv``
 additionally writes the raw rows.
+
+Telemetry flags (see ``docs/observability.md``):
+
+- ``--trace-out FILE.jsonl`` — structured protocol-event trace;
+- ``--metrics-out FILE.json`` — metrics registry + phase breakdown dump;
+- ``--progress`` — periodic one-line status to stderr during long runs;
+- ``--log-level LEVEL`` — stdlib logging threshold for ``repro.*``.
+
+With none of these flags the no-op telemetry backend is used and the run
+is unaffected.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
 from typing import Callable, Dict, List
 
+from repro import obs
 from repro.experiments import reporting, scenarios
 
 __all__ = ["main"]
@@ -76,7 +89,33 @@ def main(argv: List[str] | None = None) -> int:
         help="population multiplier over the bench defaults",
     )
     parser.add_argument("--csv", help="also write raw rows to this CSV file")
+    parser.add_argument(
+        "--trace-out", metavar="FILE.jsonl",
+        help="write a structured JSONL protocol-event trace",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE.json",
+        help="write the metrics registry + phase breakdown as JSON",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print a periodic one-line status to stderr",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL",
+        help="stdlib logging threshold (e.g. DEBUG, INFO)",
+    )
     args = parser.parse_args(argv)
+
+    if args.log_level:
+        level = getattr(logging, args.log_level.upper(), None)
+        if not isinstance(level, int):
+            parser.error(f"invalid --log-level {args.log_level!r} "
+                         "(use DEBUG, INFO, WARNING, ERROR or CRITICAL)")
+        logging.basicConfig(
+            level=level,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
 
     if args.command == "list":
         print("available experiments:")
@@ -84,13 +123,21 @@ def main(argv: List[str] | None = None) -> int:
             print(f"  {name}")
         return 0
 
+    try:
+        telemetry = _make_telemetry(args)
+    except OSError as exc:
+        # Fail before the run, not after it: the trace file opens eagerly.
+        parser.error(f"cannot open --trace-out: {exc}")
+
     if args.command == "fig9":
         kwargs = _scaled_kwargs("fig9", args.scale)
-        summary = scenarios.fig9_twitter_summary(seed=args.seed, **kwargs)
+        with obs.scope(telemetry):
+            summary = scenarios.fig9_twitter_summary(seed=args.seed, **kwargs)
         rows = [{"statistic": k, "value": v} for k, v in summary.items()]
         print(reporting.format_table(rows, title="Fig. 9 — Twitter trace statistics"))
         if args.csv:
             _write_csv(args.csv, rows)
+        _finish_telemetry(telemetry, args)
         return 0
 
     fn = _COMMANDS.get(args.command)
@@ -100,12 +147,43 @@ def main(argv: List[str] | None = None) -> int:
 
     kwargs = _scaled_kwargs(args.command, args.scale)
     t0 = time.time()
-    rows = fn(seed=args.seed, **kwargs)
+    with obs.scope(telemetry), telemetry.phase(args.command):
+        rows = fn(seed=args.seed, **kwargs)
     elapsed = time.time() - t0
     print(reporting.format_table(rows, title=f"{args.command} ({elapsed:.1f}s)"))
     if args.csv:
         _write_csv(args.csv, rows)
+    _finish_telemetry(telemetry, args)
     return 0
+
+
+def _make_telemetry(args) -> obs.Telemetry:
+    """A real telemetry object when any observability flag is set; the
+    no-op backend otherwise (zero-cost path)."""
+    if not (args.trace_out or args.metrics_out or args.progress):
+        return obs.NULL
+    return obs.Telemetry(trace=args.trace_out, progress=args.progress)
+
+
+def _finish_telemetry(telemetry: obs.Telemetry, args) -> None:
+    """Flush trace/metrics outputs and print the phase breakdown."""
+    telemetry.close()
+    if not telemetry.enabled:
+        return
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.metrics_dump(), fh, indent=2, default=str)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        print(
+            f"wrote {telemetry.trace.events_written} trace events to {args.trace_out}",
+            file=sys.stderr,
+        )
+    from repro.obs.report import phase_rows
+
+    p_rows = phase_rows(telemetry)
+    if p_rows:
+        print(reporting.format_table(p_rows, title="phase breakdown"), file=sys.stderr)
 
 
 def _write_csv(path: str, rows: List[Dict]) -> None:

@@ -380,12 +380,15 @@ class DeployedVitis:
         rates: Optional[PublicationRates] = None,
         latency: Optional[LatencyModel] = None,
         auto_start: bool = True,
+        telemetry=None,
     ) -> None:
+        from repro import obs
         from repro.core.protocol import _normalize_subscriptions
 
         self.config = config
         self.space = IdSpace()
         self.seeds = SeedTree(seed)
+        self.telemetry = telemetry if telemetry is not None else obs.current()
         self.engine = Engine()
         self.network = Network(self.engine, latency)
         subs = _normalize_subscriptions(subscriptions)

@@ -36,7 +36,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 from repro.core.identifiers import IdSpace
 from repro.core.routing_table import RoutingTable
 
-__all__ = ["Proposal", "GatewayState", "elect_round"]
+__all__ = ["Proposal", "GatewayState", "ElectionStats", "elect_round"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,29 @@ class Proposal:
 
     def is_self_proposal(self, address: int) -> bool:
         return self.gw_addr == address
+
+
+class ElectionStats:
+    """Per-round election bookkeeping (filled by :func:`elect_round` when
+    the caller passes one; used by the telemetry layer).
+
+    ``adoptions`` counts proposals taken over from a neighbor this round;
+    ``self_proposals`` counts topics for which a node kept (or fell back
+    to) itself — together they show how far the Alg. 5 fixed point still
+    is: a converged static topology adopts the same proposals every round.
+    """
+
+    __slots__ = ("proposals", "adoptions", "self_proposals")
+
+    def __init__(self) -> None:
+        self.proposals = 0
+        self.adoptions = 0
+        self.self_proposals = 0
+
+    def reset(self) -> None:
+        self.proposals = 0
+        self.adoptions = 0
+        self.self_proposals = 0
 
 
 class GatewayState:
@@ -82,6 +105,7 @@ def elect_round(
     neighbor_proposal: Callable[[int, int], Optional[Proposal]],
     topic_ids: Callable[[int], int],
     depth: int,
+    stats: Optional[ElectionStats] = None,
 ) -> Dict[int, Proposal]:
     """One Alg. 5 round for one node; returns the *new* proposal map.
 
@@ -102,6 +126,9 @@ def elect_round(
         ``topic → hash(topic)`` in the id space.
     depth:
         The ``d`` threshold.
+    stats:
+        Optional :class:`ElectionStats` accumulating adoption counts
+        across nodes within a round (telemetry).
     """
     new_proposals: Dict[int, Proposal] = {}
     self_addr = state.address
@@ -134,5 +161,11 @@ def elect_round(
                 prop = Proposal(new.gw_addr, new.gw_id, naddr, new.hops + 1)
 
         new_proposals[topic] = prop
+        if stats is not None:
+            stats.proposals += 1
+            if prop.gw_addr == self_addr:
+                stats.self_proposals += 1
+            else:
+                stats.adoptions += 1
 
     return new_proposals

@@ -25,8 +25,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Union
 
+from repro import obs
 from repro.core.config import VitisConfig
-from repro.core.gateway import elect_round
+from repro.core.gateway import ElectionStats, elect_round
 from repro.core.identifiers import IdSpace
 from repro.core.node import VitisNode
 from repro.core.profile import NodeProfile
@@ -68,6 +69,11 @@ class OverlayProtocolBase:
         Preference-function override (e.g.
         :class:`repro.core.proximity.ProximityUtility`); defaults to the
         paper's Eq. 1 over ``rates``.
+    telemetry:
+        Observability sink (:class:`repro.obs.Telemetry`).  Defaults to
+        the ambient :func:`repro.obs.current` telemetry, which is the
+        no-op backend unless a scope is active — uninstrumented runs pay
+        one attribute check per guarded site.
     """
 
     name = "base"
@@ -81,13 +87,17 @@ class OverlayProtocolBase:
         n_topics: Optional[int] = None,
         auto_start: bool = True,
         utility: Optional[UtilityFunction] = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.space = IdSpace()
         self.seeds = SeedTree(seed)
+        self.telemetry = telemetry if telemetry is not None else obs.current()
         self.engine = Engine()
         self.network = Network(self.engine)
-        self.driver = CycleDriver(self.engine, self._cycle_step, config.gossip_period)
+        self.driver = CycleDriver(
+            self.engine, self._cycle_step, config.gossip_period, telemetry=self.telemetry
+        )
 
         subs = _normalize_subscriptions(subscriptions)
         if n_topics is None:
@@ -191,11 +201,19 @@ class OverlayProtocolBase:
         seeds = self.bootstrap_descriptors(self.config.peer_view_size, address)
         node.join(seeds)
         self.topology_version += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("joins_total", system=self.name).inc()
+            tel.event("join", t=self.engine.now, addr=address)
 
     def leave(self, address: int) -> None:
         """Take a node offline (crash semantics: no goodbye messages)."""
         self.nodes[address].stop()
         self.topology_version += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("leaves_total", system=self.name).inc()
+            tel.event("leave", t=self.engine.now, addr=address)
 
     # ------------------------------------------------------------------
     # Subscriptions at runtime
@@ -235,7 +253,7 @@ class OverlayProtocolBase:
         """Greedy lookup from ``start`` toward ``target_id`` over the
         current routing tables."""
         node = self.nodes[start]
-        return greedy_route(
+        result = greedy_route(
             self.space,
             target_id,
             start,
@@ -244,6 +262,20 @@ class OverlayProtocolBase:
             is_alive=self.is_alive,
             max_hops=self.config.max_lookup_hops,
         )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("lookups_total", system=self.name).inc()
+            if not result.success:
+                tel.metrics.counter("lookups_failed_total", system=self.name).inc()
+            tel.metrics.histogram("lookup_hops", system=self.name).observe(result.hops)
+            tel.event(
+                "lookup",
+                t=self.engine.now,
+                start=start,
+                hops=result.hops,
+                ok=result.success,
+            )
+        return result
 
     def rendezvous_of(self, topic: int) -> Optional[int]:
         """Ground truth: the live node circularly closest to hash(topic)."""
@@ -259,7 +291,28 @@ class OverlayProtocolBase:
     def publish(self, topic: int, publisher: int) -> DisseminationRecord:
         """Publish one event and return its dissemination record."""
         self._event_counter += 1
-        return self._disseminate(topic, publisher, self._event_counter)
+        rec = self._disseminate(topic, publisher, self._event_counter)
+        tel = self.telemetry
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("events_published_total", system=self.name).inc()
+            m.counter("deliveries_total", system=self.name).inc(rec.n_delivered)
+            m.counter("delivery_msgs_total", system=self.name).inc(rec.total_messages)
+            m.counter("relay_msgs_total", system=self.name).inc(rec.total_relay_messages)
+            if tel.tracing:
+                hops = rec.delivered_hops.values()
+                tel.event(
+                    "delivery",
+                    t=self.engine.now,
+                    topic=topic,
+                    publisher=publisher,
+                    subs=rec.n_subscribers,
+                    delivered=rec.n_delivered,
+                    max_hop=max(hops) if rec.delivered_hops else 0,
+                    msgs=rec.total_messages,
+                    relay_msgs=rec.total_relay_messages,
+                )
+        return rec
 
     def _disseminate(
         self, topic: int, publisher: int, event_id: int
@@ -313,6 +366,7 @@ class VitisProtocol(OverlayProtocolBase):
         **kwargs,
     ):
         self._sampler_cls = sampler_cls
+        self._election_rounds = 0
         super().__init__(*args, **kwargs)
         self.election_every = election_every
         self.relay_every = relay_every
@@ -331,24 +385,52 @@ class VitisProtocol(OverlayProtocolBase):
     # One cycle (Alg. 1 line 5-7 over the population)
     # ------------------------------------------------------------------
     def _protocol_round(self, cycle: int, live: List[VitisNode]) -> None:
+        tel = self.telemetry
         ps_registry = {n.address: n.ps for n in self.nodes.values() if n.alive}
         n_live = max(2, len(live))
+        ps_ok = tman_ok = evicted = 0
         for node in live:
             node.n_estimate = n_live
-            node.ps.step(ps_registry, self.is_alive)
+            if node.ps.step(ps_registry, self.is_alive) is not None:
+                ps_ok += 1
         for node in live:
-            node.tman_step(self.nodes.get, self.is_alive, self.profile_of)
+            if node.tman_step(self.nodes.get, self.is_alive, self.profile_of) is not None:
+                tman_ok += 1
         for node in live:
-            node.heartbeat_step(self.is_alive)
+            evicted += len(node.heartbeat_step(self.is_alive))
+        if tel.enabled:
+            self._record_gossip_cycle(cycle, len(live), ps_ok, tman_ok, evicted)
         if self.election_every and (cycle % self.election_every == 0):
             self.election_round()
         if self.relay_every and (cycle % self.relay_every == 0):
             self.install_relays()
 
+    def _record_gossip_cycle(
+        self, cycle: int, live: int, ps_ok: int, tman_ok: int, evicted: int
+    ) -> None:
+        """Fold one cycle's gossip-layer activity into the telemetry:
+        exchange counts per substrate and view churn (heartbeat evictions)."""
+        m = self.telemetry.metrics
+        m.counter("gossip_ps_exchanges_total", system=self.name).inc(ps_ok)
+        m.counter("gossip_tman_exchanges_total", system=self.name).inc(tman_ok)
+        m.counter("rt_evictions_total", system=self.name).inc(evicted)
+        m.gauge("live_nodes", system=self.name).set(live)
+        self.telemetry.event(
+            "gossip_exchange",
+            t=self.engine.now,
+            cycle=cycle,
+            live=live,
+            ps=ps_ok,
+            tman=tman_ok,
+            evicted=evicted,
+        )
+
     # ------------------------------------------------------------------
     # Gateway election (Alg. 5, two-phase so all nodes read round t-1)
     # ------------------------------------------------------------------
     def election_round(self) -> None:
+        tel = self.telemetry
+        stats = ElectionStats() if tel.enabled else None
         results = {}
         for a in self.live_addresses():
             node = self.nodes[a]
@@ -361,9 +443,32 @@ class VitisProtocol(OverlayProtocolBase):
                 neighbor_proposal=self._neighbor_proposal,
                 topic_ids=self.topic_id,
                 depth=self.config.gateway_depth,
+                stats=stats,
             )
+        changed = 0
+        if stats is not None and tel.tracing:
+            # Proposals that differ from last round — 0 means the Alg. 5
+            # fixed point is reached (only computed while tracing).
+            for a, proposals in results.items():
+                old = self.nodes[a].gw_state.proposals
+                changed += sum(1 for t, p in proposals.items() if old.get(t) != p)
         for a, proposals in results.items():
             self.nodes[a].gw_state.proposals = proposals
+        if stats is not None:
+            self._election_rounds += 1
+            m = tel.metrics
+            m.counter("election_rounds_total").inc()
+            m.counter("election_adoptions_total").inc(stats.adoptions)
+            tel.event(
+                "election",
+                t=self.engine.now,
+                round=self._election_rounds,
+                live=len(results),
+                proposals=stats.proposals,
+                adoptions=stats.adoptions,
+                self_proposals=stats.self_proposals,
+                changed=changed,
+            )
 
     def _neighbor_subs(self, address: int) -> FrozenSet[int]:
         p = self.profile_of(address)
@@ -396,6 +501,12 @@ class VitisProtocol(OverlayProtocolBase):
             topics = self.topics()
         else:
             topics = list(topics)
+        tel = self.telemetry
+        teardowns = 0
+        if tel.enabled:
+            teardowns = sum(
+                1 for n in self.nodes.values() if n.relay.parent or n.relay.children
+            )
         for n in self.nodes.values():
             n.relay.clear()
         self.relay_stats.reset()
@@ -406,6 +517,19 @@ class VitisProtocol(OverlayProtocolBase):
                 lr = self.lookup(gw, tid)
                 install_path(topic, lr, tables, self.relay_stats)
         self.topology_version += 1
+        if tel.enabled:
+            stats = self.relay_stats
+            m = tel.metrics
+            m.counter("relay_installs_total").inc(stats.paths_installed)
+            m.counter("relay_grafts_total").inc(stats.grafts)
+            m.counter("relay_failed_lookups_total").inc(stats.failed_lookups)
+            m.counter("relay_teardowns_total").inc(teardowns)
+            tel.event(
+                "relay_install",
+                t=self.engine.now,
+                teardowns=teardowns,
+                **stats.as_dict(),
+            )
         return self.relay_stats
 
     def finalize(self, election_rounds: Optional[int] = None) -> None:

@@ -84,6 +84,17 @@ class RelayStats:
         self.failed_lookups = 0
         self.rendezvous.clear()
 
+    def as_dict(self) -> Dict[str, int]:
+        """Scalar summary — the payload of the ``relay_install`` trace
+        event (``repro.obs``)."""
+        return {
+            "paths": self.paths_installed,
+            "hops": self.total_path_hops,
+            "grafts": self.grafts,
+            "failed_lookups": self.failed_lookups,
+            "topics": len(self.rendezvous),
+        }
+
 
 def install_path(
     topic: int,

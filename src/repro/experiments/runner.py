@@ -18,10 +18,12 @@ Churn scenarios skip the deferral and run the full protocol every cycle.
 
 from __future__ import annotations
 
+import logging
 from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.opt import OptProtocol
 from repro.baselines.rvr import RvrProtocol
 from repro.core.config import VitisConfig
@@ -33,6 +35,8 @@ from repro.workloads.publication import sample_topics
 
 __all__ = ["build_vitis", "build_rvr", "build_opt", "converge", "measure"]
 
+log = logging.getLogger(__name__)
+
 #: Gossip cycles between ring-convergence checks during warm-up.
 CONVERGE_CHUNK = 10
 
@@ -42,14 +46,31 @@ def converge(protocol, min_cycles: int = 30, max_cycles: int = 120) -> int:
 
     Returns the total cycles run.  OPT has no ring; its warm-up is plain
     ``run_cycles`` (see :func:`build_opt`).
+
+    Telemetry: each convergence check appends to the ``ring_converged``
+    probe time series (indexed by cycles run) and emits a
+    ``converge_check`` trace event, so a slow warm-up shows *when* the
+    ring snapped into place rather than just how long it took.
     """
-    protocol.run_cycles(min_cycles)
-    cycles = min_cycles
-    while cycles < max_cycles:
-        if is_ring_converged(protocol.ids_by_address(), protocol.successor_map()):
-            break
-        protocol.run_cycles(CONVERGE_CHUNK)
-        cycles += CONVERGE_CHUNK
+    tel = protocol.telemetry
+    with tel.phase("converge"):
+        protocol.run_cycles(min_cycles)
+        cycles = min_cycles
+        while True:
+            converged = is_ring_converged(
+                protocol.ids_by_address(), protocol.successor_map()
+            )
+            if tel.enabled:
+                tel.series.record("ring_converged", float(cycles), float(converged))
+                tel.event("converge_check", t=protocol.engine.now,
+                          cycles=cycles, converged=converged)
+            if converged or cycles >= max_cycles:
+                break
+            protocol.run_cycles(CONVERGE_CHUNK)
+            cycles += CONVERGE_CHUNK
+    if tel.enabled:
+        tel.metrics.gauge("converge_cycles", system=protocol.name).set(cycles)
+    log.debug("%s converged in %d cycles (cap %d)", protocol.name, cycles, max_cycles)
     return cycles
 
 
@@ -62,20 +83,30 @@ def build_vitis(
     max_cycles: int = 120,
     sampler_cls=None,
     utility=None,
+    telemetry=None,
 ) -> VitisProtocol:
-    """A converged, relay-installed Vitis system ready for measurement."""
-    p = VitisProtocol(
-        subscriptions,
-        config,
-        seed=seed,
-        rates=rates,
-        election_every=0,
-        relay_every=0,
-        sampler_cls=sampler_cls,
-        utility=utility,
-    )
+    """A converged, relay-installed Vitis system ready for measurement.
+
+    ``telemetry`` (here and in the other builders) defaults to the
+    ambient :func:`repro.obs.current` object; the build/converge/finalize
+    wall time lands in its phase breakdown.
+    """
+    telemetry = telemetry if telemetry is not None else obs.current()
+    with telemetry.phase("build"):
+        p = VitisProtocol(
+            subscriptions,
+            config,
+            seed=seed,
+            rates=rates,
+            election_every=0,
+            relay_every=0,
+            sampler_cls=sampler_cls,
+            utility=utility,
+            telemetry=telemetry,
+        )
     converge(p, min_cycles, max_cycles)
-    p.finalize()
+    with telemetry.phase("finalize"):
+        p.finalize()
     return p
 
 
@@ -86,11 +117,18 @@ def build_rvr(
     rates: Optional[PublicationRates] = None,
     min_cycles: int = 30,
     max_cycles: int = 120,
+    telemetry=None,
 ) -> RvrProtocol:
     """A converged RVR system with all subscriber trees installed."""
-    p = RvrProtocol(subscriptions, config, seed=seed, rates=rates, relay_every=0)
+    telemetry = telemetry if telemetry is not None else obs.current()
+    with telemetry.phase("build"):
+        p = RvrProtocol(
+            subscriptions, config, seed=seed, rates=rates, relay_every=0,
+            telemetry=telemetry,
+        )
     converge(p, min_cycles, max_cycles)
-    p.finalize()
+    with telemetry.phase("finalize"):
+        p.finalize()
     return p
 
 
@@ -102,18 +140,23 @@ def build_opt(
     cycles: int = 40,
     max_degree: Optional[int] = -1,
     coverage: int = 2,
+    telemetry=None,
 ) -> OptProtocol:
     """A warmed-up OPT system (bounded by default; ``max_degree=None``
     for the unbounded Fig. 11 variant)."""
-    p = OptProtocol(
-        subscriptions,
-        config,
-        seed=seed,
-        rates=rates,
-        max_degree=max_degree,
-        coverage=coverage,
-    )
-    p.run_cycles(cycles)
+    telemetry = telemetry if telemetry is not None else obs.current()
+    with telemetry.phase("build"):
+        p = OptProtocol(
+            subscriptions,
+            config,
+            seed=seed,
+            rates=rates,
+            max_degree=max_degree,
+            coverage=coverage,
+            telemetry=telemetry,
+        )
+    with telemetry.phase("converge"):
+        p.run_cycles(cycles)
     return p
 
 
@@ -147,31 +190,33 @@ def measure(
         raise ValueError(f"unknown publisher mode: {publisher!r}")
     collector = collector if collector is not None else MetricsCollector()
     rng = np.random.default_rng(seed)
+    tel = getattr(protocol, "telemetry", obs.NULL)
 
-    candidates = [t for t in (topics if topics is not None else protocol.topics())
-                  if protocol.subscribers(t)]
-    if not candidates:
-        return collector
-    drawn = sample_topics(protocol.rates, n_events, rng, restrict=candidates)
+    with tel.phase("measure"):
+        candidates = [t for t in (topics if topics is not None else protocol.topics())
+                      if protocol.subscribers(t)]
+        if not candidates:
+            return collector
+        drawn = sample_topics(protocol.rates, n_events, rng, restrict=candidates)
 
-    now = protocol.engine.now
-    for topic in drawn:
-        subs = sorted(protocol.subscribers(topic))
-        if publisher == "owner":
-            pub = topic
-            if not protocol.is_alive(pub):
-                continue
-        else:
-            if not subs:
-                continue
-            pub = subs[int(rng.integers(len(subs)))]
-        rec = protocol.publish(topic, pub)
-        if min_join_age > 0:
-            eligible = [
-                a
-                for a in rec.subscribers
-                if protocol.nodes[a].joined_at <= now - min_join_age
-            ]
-            rec = restrict_record(rec, eligible)
-        collector.add(rec)
+        now = protocol.engine.now
+        for topic in drawn:
+            subs = sorted(protocol.subscribers(topic))
+            if publisher == "owner":
+                pub = topic
+                if not protocol.is_alive(pub):
+                    continue
+            else:
+                if not subs:
+                    continue
+                pub = subs[int(rng.integers(len(subs)))]
+            rec = protocol.publish(topic, pub)
+            if min_join_age > 0:
+                eligible = [
+                    a
+                    for a in rec.subscribers
+                    if protocol.nodes[a].joined_at <= now - min_join_age
+                ]
+                rec = restrict_record(rec, eligible)
+            collector.add(rec)
     return collector

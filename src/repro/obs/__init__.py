@@ -1,0 +1,35 @@
+"""Observability: metrics, structured tracing and phase profiling.
+
+The telemetry subsystem threaded through the simulation stack:
+
+- :mod:`repro.obs.registry` — counters, gauges, histograms with labels;
+- :mod:`repro.obs.trace` — structured JSONL protocol-event tracing;
+- :mod:`repro.obs.phases` — nested wall-clock phase timers;
+- :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade, the no-op
+  :data:`NULL` backend, and the ambient :func:`scope`/:func:`current`
+  helpers the CLI uses to instrument scenarios end-to-end;
+- :mod:`repro.obs.report` — render captured telemetry as tables.
+
+See ``docs/observability.md`` for the trace event schema and the metric
+name catalogue.
+"""
+
+from repro.obs.phases import PhaseTimer
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import NULL, NullTelemetry, Telemetry, current, scope
+from repro.obs.trace import TraceWriter, read_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL",
+    "NullTelemetry",
+    "PhaseTimer",
+    "Telemetry",
+    "TraceWriter",
+    "current",
+    "read_trace",
+    "scope",
+]

@@ -1,0 +1,97 @@
+"""Phase timers: where does the wall time of a run go?
+
+A :class:`PhaseTimer` accumulates wall-clock time per named phase.
+Phases nest — entering ``measure`` inside ``fig4`` accumulates under the
+path ``fig4/measure`` — so the breakdown distinguishes the converge time
+of one build from another's.  Timings are inclusive (a parent's total
+contains its children's).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["PhaseTimer"]
+
+
+class _PhaseContext:
+    __slots__ = ("_timer", "_name", "_t0")
+
+    def __init__(self, timer: "PhaseTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._timer._stack.append(self._name)
+        self._t0 = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = self._timer._clock() - self._t0
+        path = "/".join(self._timer._stack)
+        self._timer._stack.pop()
+        self._timer._record(path, elapsed)
+
+
+class PhaseTimer:
+    """Accumulates (calls, total seconds) per nested phase path."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: List[str] = []
+        self._totals: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        #: Called with (path, elapsed_seconds) on every phase exit — the
+        #: Telemetry facade hooks this to emit ``phase`` trace events.
+        self.on_exit: Optional[Callable[[str, float], None]] = None
+
+    def phase(self, name: str) -> _PhaseContext:
+        """Context manager timing one phase (re-enterable, nest freely)."""
+        if "/" in name:
+            raise ValueError(f"phase names must not contain '/': {name!r}")
+        return _PhaseContext(self, name)
+
+    def _record(self, path: str, elapsed: float) -> None:
+        self._totals[path] = self._totals.get(path, 0.0) + elapsed
+        self._calls[path] = self._calls.get(path, 0) + 1
+        if self.on_exit is not None:
+            self.on_exit(path, elapsed)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._totals)
+
+    def total(self, path: str) -> float:
+        return self._totals.get(path, 0.0)
+
+    def calls(self, path: str) -> int:
+        return self._calls.get(path, 0)
+
+    def to_rows(self) -> List[Dict]:
+        """Breakdown rows (sorted by path) for
+        :func:`repro.experiments.reporting.format_table`: top-level phases
+        also carry their share of the summed top-level time."""
+        top_total = sum(v for p, v in self._totals.items() if "/" not in p)
+        rows: List[Dict] = []
+        for path in sorted(self._totals):
+            total = self._totals[path]
+            rows.append(
+                {
+                    "phase": path,
+                    "calls": self._calls[path],
+                    "total_s": total,
+                    "mean_s": total / self._calls[path],
+                    "pct_of_run": 100.0 * total / top_total
+                    if top_total and "/" not in path
+                    else None,
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict:
+        return {
+            path: {"calls": self._calls[path], "total_s": self._totals[path]}
+            for path in sorted(self._totals)
+        }

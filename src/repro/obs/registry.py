@@ -1,0 +1,168 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+A deliberately small, Prometheus-flavoured in-process registry.  Metric
+families are identified by name; instruments are identified by (name,
+label set) and memoised, so hot paths can either cache the instrument once
+(`c = registry.counter("x"); c.inc()` in a loop) or look it up per call
+for labelled series (`registry.counter("lookups", system="vitis")`).
+
+Everything is plain Python state — no background threads, no exporters.
+:meth:`MetricsRegistry.to_dict` serialises the whole registry into the
+JSON shape the CLI writes for ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram buckets — generic enough for hop counts, millisecond
+#: timings and message counts alike (upper bounds; +Inf is implicit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up: {n}")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, live nodes, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max.
+
+    ``buckets`` are upper bounds; an implicit +Inf bucket catches the
+    rest.  Bucket counts are cumulative on export (Prometheus style).
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        # ``le`` semantics: first bucket whose upper bound is >= v; past the
+        # last bound the observation lands in the implicit +Inf slot.
+        self.bucket_counts[bisect_left(self.buckets, v)] += 1
+        self.count += 1
+        self.sum += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        cumulative = []
+        running = 0
+        for c in self.bucket_counts[:-1]:
+            running += c
+            cumulative.append(running)
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "buckets": {str(b): c for b, c in zip(self.buckets, cumulative)},
+        }
+
+
+class MetricsRegistry:
+    """Holds every instrument of one telemetry session."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(buckets or DEFAULT_BUCKETS)
+        return h
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable dump of every instrument."""
+        return {
+            "counters": {
+                _render_key(n, k): c.value for (n, k), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _render_key(n, k): g.value for (n, k), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _render_key(n, k): h.to_dict()
+                for (n, k), h in sorted(self._histograms.items())
+            },
+        }

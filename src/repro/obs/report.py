@@ -1,0 +1,71 @@
+"""Render captured telemetry as tables.
+
+Bridges the observability channels back into the repository's tabular
+reporting idiom: every function returns ``list[dict]`` rows compatible
+with :func:`repro.experiments.reporting.format_table`, and
+:func:`render` assembles the full human-readable report the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.reporting import format_table
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["metrics_rows", "phase_rows", "trace_summary_rows", "render"]
+
+
+def metrics_rows(registry: MetricsRegistry) -> List[Dict]:
+    """One row per instrument: counters and gauges verbatim, histograms as
+    count/mean/max."""
+    dump = registry.to_dict()
+    rows: List[Dict] = []
+    for name, value in dump["counters"].items():
+        rows.append({"metric": name, "type": "counter", "value": value})
+    for name, value in dump["gauges"].items():
+        rows.append({"metric": name, "type": "gauge", "value": value})
+    for name, h in dump["histograms"].items():
+        rows.append(
+            {
+                "metric": f"{name}.count", "type": "histogram", "value": float(h["count"]),
+            }
+        )
+        rows.append({"metric": f"{name}.mean", "type": "histogram", "value": h["mean"]})
+        if h["max"] is not None:
+            rows.append({"metric": f"{name}.max", "type": "histogram", "value": h["max"]})
+    return rows
+
+
+def phase_rows(telemetry: Telemetry) -> List[Dict]:
+    """The phase breakdown (inclusive wall time per nested phase path)."""
+    return telemetry.phases.to_rows()
+
+
+def trace_summary_rows(events: List[Dict]) -> List[Dict]:
+    """Count trace events by type — a quick sanity view of a JSONL file
+    loaded with :func:`repro.obs.trace.read_trace`."""
+    counts: Dict[str, int] = {}
+    for e in events:
+        counts[e.get("ev", "?")] = counts.get(e.get("ev", "?"), 0) + 1
+    return [{"event": ev, "count": n} for ev, n in sorted(counts.items())]
+
+
+def render(telemetry: Telemetry, title: Optional[str] = None) -> str:
+    """Phase breakdown + metrics as one formatted report."""
+    sections: List[str] = []
+    if title:
+        sections.append(title)
+    p_rows = phase_rows(telemetry)
+    if p_rows:
+        sections.append(format_table(p_rows, title="phase breakdown"))
+    m_rows = metrics_rows(telemetry.metrics)
+    if m_rows:
+        sections.append(format_table(m_rows, title="metrics"))
+    probe_rows = telemetry.series.to_rows()
+    if probe_rows:
+        sections.append(format_table(probe_rows, title="probe time series"))
+    if not sections:
+        return "(no telemetry captured)"
+    return "\n\n".join(sections)

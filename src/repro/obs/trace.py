@@ -1,0 +1,92 @@
+"""Structured protocol tracing: one JSON object per line (JSONL).
+
+Every trace event carries at least:
+
+- ``ev`` — the event type (see ``docs/observability.md`` for the schema);
+- ``t`` — simulated time in seconds, when the emitter runs on the
+  simulation clock (absent for wall-clock-only events such as phases);
+- ``wall`` — wall-clock seconds since the writer was opened.
+
+All other fields are event-specific.  Lines are buffered and flushed in
+batches so tracing a long run does not turn into one syscall per event.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, TextIO, Union
+
+__all__ = ["TraceWriter", "read_trace"]
+
+
+class TraceWriter:
+    """Append-only JSONL event sink.
+
+    Parameters
+    ----------
+    target:
+        A path to open (truncating) or an already-open text file object
+        (kept open on :meth:`close`; useful for in-memory ``StringIO``).
+    flush_every:
+        Buffered line count that triggers a write-through.
+    """
+
+    def __init__(self, target: Union[str, TextIO], flush_every: int = 1000) -> None:
+        if isinstance(target, str):
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self._buffer: List[str] = []
+        self._flush_every = max(1, flush_every)
+        self._t0 = time.perf_counter()
+        self._closed = False
+        self.events_written = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, ev: str, t: Optional[float] = None, **fields) -> None:
+        """Record one event.  ``t`` is simulated time (omit for wall-only)."""
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        record: Dict = {"ev": ev}
+        if t is not None:
+            record["t"] = round(float(t), 6)
+        record["wall"] = round(time.perf_counter() - self._t0, 6)
+        record.update(fields)
+        self._buffer.append(json.dumps(record, default=str))
+        self.events_written += 1
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Load a JSONL trace back into a list of event dicts."""
+    events: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -53,8 +54,14 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* events still queued.
+
+        Cancelled entries stay in the heap until they surface (lazy
+        deletion), so this scans rather than reporting ``len`` — the
+        queue-depth gauge must not count tombstones.  O(queue); sampled
+        per cycle, not per event.
+        """
+        return sum(1 for ev in self._queue if not ev.cancelled)
 
     @property
     def processed(self) -> int:
@@ -163,6 +170,11 @@ class CycleDriver:
         typically iterate their live nodes in shuffled order inside it.
     period:
         Simulated seconds per cycle (the gossip period, paper's ``δt``).
+    telemetry:
+        Observability sink (``repro.obs``).  When enabled, every cycle
+        records its wall time, events processed, and queue depth, and
+        feeds the throttled ``--progress`` line.  Defaults to the no-op
+        backend, whose cost is one attribute check per cycle.
     """
 
     def __init__(
@@ -170,11 +182,17 @@ class CycleDriver:
         engine: Engine,
         step_fn: Callable[[int], None],
         period: float = 1.0,
+        telemetry=None,
     ) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
+        if telemetry is None:
+            from repro.obs import NULL
+
+            telemetry = NULL
         self.engine = engine
         self.period = period
+        self.telemetry = telemetry
         self._step_fn = step_fn
         self._cycle = 0
 
@@ -190,11 +208,53 @@ class CycleDriver:
         cycle window (e.g. churn joins/leaves, measurements) are executed
         first, so the interleaving matches an event-driven run.
         """
+        telemetry = self.telemetry
         for _ in range(n):
+            if telemetry.enabled:
+                self._run_one_instrumented()
+                continue
             target = self.engine.now + self.period
             self.engine.run(until=target)
             self._step_fn(self._cycle)
             self._cycle += 1
+
+    def _run_one_instrumented(self) -> None:
+        """One cycle with engine-layer telemetry (wall time, events/sec,
+        queue depth) — split out so the uninstrumented loop stays bare."""
+        engine = self.engine
+        telemetry = self.telemetry
+        t0 = time.perf_counter()
+        processed_before = engine.processed
+
+        target = engine.now + self.period
+        engine.run(until=target)
+        self._step_fn(self._cycle)
+        self._cycle += 1
+
+        wall = time.perf_counter() - t0
+        events = engine.processed - processed_before
+        depth = engine.pending
+        m = telemetry.metrics
+        m.counter("engine_cycles_total").inc()
+        m.counter("engine_events_total").inc(events)
+        m.gauge("engine_queue_depth").set(depth)
+        m.gauge("engine_sim_time_s").set(engine.now)
+        m.histogram("engine_cycle_wall_ms").observe(wall * 1000.0)
+        if telemetry.tracing:
+            telemetry.event(
+                "cycle",
+                t=engine.now,
+                cycle=self._cycle - 1,
+                wall_ms=round(wall * 1000.0, 3),
+                events=events,
+                queue=depth,
+            )
+        telemetry.progress(
+            lambda: (
+                f"t={engine.now:.1f}s cycle={self._cycle} "
+                f"events={engine.processed} queue={depth}"
+            )
+        )
 
     def run_until(self, t: float) -> None:
         """Run whole cycles until the engine clock reaches at least ``t``."""

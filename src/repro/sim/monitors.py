@@ -85,14 +85,20 @@ class TimeSeries:
         all_times = sorted({t for n in names for t in self._times.get(n, ())})
         rows: List[Dict] = []
         for t in all_times:
-            row: Dict = {time_key: t}
+            # A series may hold several samples at the same instant (e.g.
+            # repeated probes within one cycle); emit one row per
+            # occurrence, aligning the k-th duplicate of each series.
+            spans: Dict[str, tuple] = {}
+            occurrences = 1
             for n in names:
                 ts = self._times.get(n, [])
-                i = bisect_left(ts, t)
-                row[n] = (
-                    self._values[n][i]
-                    if i < len(ts) and ts[i] == t
-                    else None
-                )
-            rows.append(row)
+                lo, hi = bisect_left(ts, t), bisect_right(ts, t)
+                spans[n] = (lo, hi)
+                occurrences = max(occurrences, hi - lo)
+            for k in range(occurrences):
+                row: Dict = {time_key: t}
+                for n in names:
+                    lo, hi = spans[n]
+                    row[n] = self._values[n][lo + k] if lo + k < hi else None
+                rows.append(row)
         return rows

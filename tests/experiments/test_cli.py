@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import read_trace
 
 
 class TestCli:
@@ -30,3 +33,37 @@ class TestCli:
     def test_fig11_small(self, capsys):
         assert main(["fig11", "--scale", "0.025", "--seed", "1"]) == 0
         assert "degree" in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_trace_and_metrics_outputs(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        assert main([
+            "fig4", "--scale", "0.1", "--seed", "1",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+
+        events = read_trace(str(trace_path))  # every line valid JSON
+        kinds = {e["ev"] for e in events}
+        assert {"gossip_exchange", "lookup", "delivery", "phase"} <= kinds
+        assert all("wall" in e for e in events)
+
+        dump = json.loads(metrics_path.read_text())
+        assert set(dump) == {"metrics", "phases", "series"}
+        counters = dump["metrics"]["counters"]
+        assert counters["engine_cycles_total"] > 0
+        assert "fig4" in dump["phases"]
+        assert "fig4/converge" in dump["phases"]
+
+        err = capsys.readouterr().err
+        assert "phase breakdown" in err
+
+    def test_no_flags_uses_noop_backend(self, capsys):
+        from repro import obs
+
+        before = len(obs.NULL.metrics)
+        assert main(["fig9", "--scale", "0.02", "--seed", "1"]) == 0
+        assert len(obs.NULL.metrics) == before
+        assert "phase breakdown" not in capsys.readouterr().err

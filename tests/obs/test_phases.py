@@ -1,0 +1,80 @@
+"""Tests for the nested phase timer."""
+
+import pytest
+
+from repro.obs import PhaseTimer
+
+
+def make_timer(times):
+    """A PhaseTimer on a deterministic fake clock (pops from ``times``)."""
+    it = iter(times)
+    return PhaseTimer(clock=lambda: next(it))
+
+
+class TestPhaseTimer:
+    def test_single_phase(self):
+        pt = make_timer([0.0, 2.5])
+        with pt.phase("build"):
+            pass
+        assert pt.total("build") == 2.5
+        assert pt.calls("build") == 1
+
+    def test_nesting_joins_paths(self):
+        # Enter fig4 at 0, converge at 1; exit converge at 4, fig4 at 10.
+        pt = make_timer([0.0, 1.0, 4.0, 10.0])
+        with pt.phase("fig4"):
+            with pt.phase("converge"):
+                pass
+        assert pt.total("fig4/converge") == 3.0
+        assert pt.total("fig4") == 10.0  # inclusive of children
+        assert pt.calls("fig4") == 1
+
+    def test_reentry_accumulates(self):
+        pt = make_timer([0.0, 1.0, 5.0, 7.0])
+        for _ in range(2):
+            with pt.phase("measure"):
+                pass
+        assert pt.calls("measure") == 2
+        assert pt.total("measure") == 3.0  # 1.0 + 2.0
+
+    def test_same_name_different_parents_are_distinct(self):
+        pt = make_timer([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        with pt.phase("a"):
+            with pt.phase("x"):
+                pass
+        with pt.phase("b"):
+            with pt.phase("x"):
+                pass
+        assert pt.calls("a/x") == 1
+        assert pt.calls("b/x") == 1
+        assert pt.calls("x") == 0
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().phase("a/b")
+
+    def test_on_exit_hook(self):
+        seen = []
+        pt = make_timer([0.0, 1.0, 3.0, 6.0])
+        pt.on_exit = lambda path, dur: seen.append((path, dur))
+        with pt.phase("outer"):
+            with pt.phase("inner"):
+                pass
+        # Children exit before parents, with full paths and durations.
+        assert seen == [("outer/inner", 2.0), ("outer", 6.0)]
+
+    def test_to_rows_pct_only_for_top_level(self):
+        pt = make_timer([0.0, 1.0, 3.0, 4.0])
+        with pt.phase("run"):
+            with pt.phase("sub"):
+                pass
+        rows = {r["phase"]: r for r in pt.to_rows()}
+        assert rows["run"]["pct_of_run"] == 100.0
+        assert rows["run/sub"]["pct_of_run"] is None
+        assert rows["run/sub"]["total_s"] == 2.0
+
+    def test_to_dict(self):
+        pt = make_timer([0.0, 2.0])
+        with pt.phase("p"):
+            pass
+        assert pt.to_dict() == {"p": {"calls": 1, "total_s": 2.0}}

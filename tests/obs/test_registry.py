@@ -1,0 +1,89 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = Histogram(buckets=(1, 5, 10))
+        for v in (0.5, 1, 3, 5, 7, 10, 100):
+            h.observe(v)
+        d = h.to_dict()
+        # Cumulative: <=1 gets {0.5, 1}; <=5 adds {3, 5}; <=10 adds {7, 10};
+        # 100 lands in the implicit +Inf slot (count only).
+        assert d["buckets"] == {"1": 2, "5": 4, "10": 6}
+        assert d["count"] == 7
+
+    def test_stats(self):
+        h = Histogram(buckets=(10,))
+        for v in (2, 4, 6):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 12.0
+        assert h.min == 2.0
+        assert h.max == 6.0
+        assert h.mean() == 4.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean() == 0.0
+
+
+class TestMetricsRegistry:
+    def test_instruments_memoised_by_name_and_labels(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.counter("x", system="vitis") is r.counter("x", system="vitis")
+        assert r.counter("x") is not r.counter("x", system="vitis")
+        assert r.counter("x", a="1", b="2") is r.counter("x", b="2", a="1")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_len_counts_all_instruments(self):
+        r = MetricsRegistry()
+        r.counter("c")
+        r.counter("c", system="rvr")
+        r.gauge("g")
+        r.histogram("h")
+        assert len(r) == 4
+
+    def test_to_dict_renders_label_keys(self):
+        r = MetricsRegistry()
+        r.counter("lookups_total", system="vitis").inc(3)
+        r.gauge("live_nodes").set(42)
+        r.histogram("hops", buckets=(1, 2)).observe(1)
+        d = r.to_dict()
+        assert d["counters"] == {"lookups_total{system=vitis}": 3.0}
+        assert d["gauges"] == {"live_nodes": 42.0}
+        assert d["histograms"]["hops"]["count"] == 1
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("c", k="v").inc()
+        r.histogram("h").observe(7)
+        json.dumps(r.to_dict())

@@ -1,0 +1,36 @@
+"""Tests for the telemetry report rendering."""
+
+from repro.obs import Telemetry
+from repro.obs.report import metrics_rows, phase_rows, render, trace_summary_rows
+
+
+class TestReport:
+    def _telemetry(self):
+        tel = Telemetry()
+        tel.metrics.counter("lookups_total", system="vitis").inc(5)
+        tel.metrics.gauge("live_nodes").set(80)
+        tel.metrics.histogram("lookup_hops").observe(3)
+        with tel.phase("run"):
+            pass
+        return tel
+
+    def test_metrics_rows_cover_all_instruments(self):
+        rows = metrics_rows(self._telemetry().metrics)
+        names = {r["metric"] for r in rows}
+        assert "lookups_total{system=vitis}" in names
+        assert "live_nodes" in names
+        assert any(n.startswith("lookup_hops") for n in names)
+
+    def test_phase_rows(self):
+        rows = phase_rows(self._telemetry())
+        assert [r["phase"] for r in rows] == ["run"]
+
+    def test_trace_summary_counts_by_type(self):
+        events = [{"ev": "lookup"}, {"ev": "lookup"}, {"ev": "delivery"}]
+        rows = {r["event"]: r["count"] for r in trace_summary_rows(events)}
+        assert rows == {"lookup": 2, "delivery": 1}
+
+    def test_render_is_printable(self):
+        text = render(self._telemetry(), title="smoke")
+        assert "lookups_total" in text
+        assert "run" in text

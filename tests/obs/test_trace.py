@@ -1,0 +1,64 @@
+"""Tests for the JSONL trace writer."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import TraceWriter, read_trace
+
+
+class TestTraceWriter:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            tw.emit("lookup", t=1.25, hops=3, ok=True)
+            tw.emit("phase", phase="converge", dur_s=0.5)
+        events = read_trace(path)
+        assert len(events) == 2
+        assert events[0]["ev"] == "lookup"
+        assert events[0]["t"] == 1.25
+        assert events[0]["hops"] == 3 and events[0]["ok"] is True
+        assert "wall" in events[0]
+        # Wall-only events omit the simulated-time field entirely.
+        assert "t" not in events[1]
+        assert events[1]["phase"] == "converge"
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            for i in range(10):
+                tw.emit("cycle", t=float(i), cycle=i)
+        for line in open(path, encoding="utf-8"):
+            json.loads(line)
+
+    def test_buffering_flushes_on_threshold(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tw = TraceWriter(path, flush_every=5)
+        for i in range(4):
+            tw.emit("e", n=i)
+        assert open(path, encoding="utf-8").read() == ""  # still buffered
+        tw.emit("e", n=4)  # fifth event triggers the flush
+        assert len(open(path, encoding="utf-8").read().splitlines()) == 5
+        tw.close()
+
+    def test_external_stream_not_closed(self):
+        buf = io.StringIO()
+        tw = TraceWriter(buf)
+        tw.emit("x")
+        tw.close()
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["ev"] == "x"
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tw = TraceWriter(str(tmp_path / "t.jsonl"))
+        tw.close()
+        with pytest.raises(ValueError):
+            tw.emit("x")
+
+    def test_events_written_counter(self, tmp_path):
+        tw = TraceWriter(str(tmp_path / "t.jsonl"))
+        for _ in range(7):
+            tw.emit("x")
+        assert tw.events_written == 7
+        tw.close()

@@ -64,6 +64,17 @@ class TestEngineBasics:
         e.run()
         assert e.processed == 3
 
+    def test_pending_excludes_cancelled(self):
+        e = Engine()
+        h1 = e.schedule(1.0, lambda: None)
+        e.schedule(2.0, lambda: None)
+        e.schedule(3.0, lambda: None)
+        assert e.pending == 3
+        h1.cancelled = True
+        # Lazy deletion keeps the tombstone in the heap, but it is no
+        # longer pending work.
+        assert e.pending == 2
+
     def test_clear_drops_pending(self):
         e = Engine()
         fired = []
