@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.faults.kill import crash_nodes
 from repro.sim.metrics import MetricsCollector
 
 __all__ = ["failure_sweep", "kill_fraction"]
@@ -38,18 +39,21 @@ def _invalidate_topology_caches(protocol) -> None:
 
 
 def kill_fraction(protocol, fraction: float, rng) -> List[int]:
-    """Stop a uniformly random ``fraction`` of live nodes (no repair
-    rounds are run).  Returns the killed addresses so the caller can
-    restart them."""
-    if not 0.0 <= fraction < 1.0:
-        raise ValueError("fraction must be in [0, 1)")
+    """Crash a uniformly random ``fraction`` of live nodes (no repair
+    rounds are run).  ``fraction`` ranges over ``[0, 1]`` inclusive:
+    ``1.0`` kills the entire live population (every later publish finds
+    no live publisher, so a sweep row at 1.0 records zero events).
+    Returns the killed addresses so the caller can restart them.
+
+    The kill itself is :func:`repro.faults.crash_nodes` — the same
+    crash-without-cleanup path the ``fault_sweep`` scenario injects —
+    so both robustness probes stress one code path."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
     live = sorted(protocol.live_addresses())
     n_kill = int(len(live) * fraction)
     victims = [live[i] for i in rng.choice(len(live), size=n_kill, replace=False)]
-    for a in victims:
-        protocol.nodes[a].stop()
-    _invalidate_topology_caches(protocol)
-    return victims
+    return crash_nodes(protocol, victims)
 
 
 def failure_sweep(
@@ -62,8 +66,10 @@ def failure_sweep(
 
     For each fraction: kill, publish ``events_per_point`` events from
     random *surviving* subscribers, record hit ratio over surviving
-    subscribers, restore.  The protocol's topology state (routing tables,
-    relay trees, elections) is never touched — exactly the
+    subscribers, restore.  Fractions range over ``[0, 1]`` inclusive (see
+    :func:`kill_fraction`; at 1.0 there is no surviving publisher and the
+    row records zero events).  The protocol's topology state (routing
+    tables, relay trees, elections) is never touched — exactly the
     "crash happened a millisecond ago" snapshot.
     """
     rng = np.random.default_rng(seed)

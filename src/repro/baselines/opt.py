@@ -220,9 +220,21 @@ class OptProtocol(OverlayProtocolBase):
             )
             if peer is not None:
                 ex_ok += 1
+        fm = self.fault_model
+        now = self.engine.now
         for node in live:
             before = len(node.neighbors)
-            node.prune_dead(self.is_alive)
+            if fm is None:
+                node.prune_dead(self.is_alive)
+            else:
+                # OPT has no ageing heartbeat: it heals by dropping links
+                # that are dead or *surely* severed (partitioned) and
+                # letting the coverage exchange re-link afterwards.
+                src = node.address
+                node.prune_dead(
+                    lambda b, src=src: self.is_alive(b)
+                    and not fm.severed(src, b, now)
+                )
             pruned += before - len(node.neighbors)
         if tel.enabled:
             # Same ``gossip_exchange`` trace schema as Vitis/RVR (the
@@ -318,6 +330,9 @@ class OptProtocol(OverlayProtocolBase):
         if not self.is_alive(publisher):
             return rec
         adj = self.topic_subgraph(topic)
+        from repro.core.dissemination import _make_transmit
+
+        transmit = _make_transmit(self, rec)
 
         # Entry point: the publisher itself if subscribed, else the topic
         # overlay's access point — a uniformly random member (generous to
@@ -328,6 +343,8 @@ class OptProtocol(OverlayProtocolBase):
             if not live_subs:
                 return rec
             start = self._rng.choice(sorted(live_subs))
+            if transmit is not None and not transmit(publisher, start):
+                return rec
             start_hop = 1
             rec.interested_msgs[start] += 1
             if start in rec.subscribers:
@@ -339,6 +356,8 @@ class OptProtocol(OverlayProtocolBase):
             u, hop, sender = queue.popleft()
             for v in adj.get(u, ()):
                 if v == sender or not self.is_alive(v):
+                    continue
+                if transmit is not None and not transmit(u, v):
                     continue
                 rec.interested_msgs[v] += 1
                 if v not in seen:

@@ -20,6 +20,13 @@ Telemetry flags (see ``docs/observability.md``):
 
 With none of these flags the no-op telemetry backend is used and the run
 is unaffected.
+
+Fault injection (see ``docs/robustness.md``) — ``fault_sweep`` only:
+
+- ``--loss-rate P`` (repeatable) — i.i.d. message-loss probabilities;
+- ``--partition CYCLES`` (repeatable) — partition durations to sweep;
+- ``--fault-seed N`` — replayable fault randomness, independent of
+  ``--seed``.
 """
 
 from __future__ import annotations
@@ -55,7 +62,15 @@ def _scaled_kwargs(fig: str, scale: float) -> Dict:
         "ablation_sw": {"n_nodes": 300, "n_topics": 1000},
         "ablation_proximity": {"n_nodes": 300, "n_topics": 1000},
         "management_cost": {"n_users": 4000, "sample_size": 400},
+        "fault_sweep": {"n_nodes": 200, "n_topics": 400},
     }.get(fig, {})
+    if fig == "fault_sweep":
+        # The bucketed subscription generator needs n_topics divisible by
+        # its bucket count (n_topics/50 for the "high" pattern).
+        scaled = {k: max(2, int(v * scale)) for k, v in int_knobs.items()}
+        nt = scaled.get("n_topics", 400)
+        scaled["n_topics"] = max(100, 50 * round(nt / 50))
+        return scaled
     return {k: max(2, int(v * scale)) for k, v in int_knobs.items()}
 
 
@@ -74,6 +89,7 @@ _COMMANDS: Dict[str, Callable] = {
     "ablation_sw": scenarios.ablation_sw_links,
     "ablation_proximity": scenarios.ablation_proximity,
     "management_cost": scenarios.management_cost,
+    "fault_sweep": scenarios.fault_sweep,
 }
 
 
@@ -105,7 +121,28 @@ def main(argv: List[str] | None = None) -> int:
         "--log-level", metavar="LEVEL",
         help="stdlib logging threshold (e.g. DEBUG, INFO)",
     )
+    parser.add_argument(
+        "--loss-rate", action="append", type=float, metavar="P", dest="loss_rates",
+        help="fault_sweep only: i.i.d. message-loss probability to sweep "
+             "(repeatable)",
+    )
+    parser.add_argument(
+        "--partition", action="append", type=int, metavar="CYCLES",
+        dest="partitions",
+        help="fault_sweep only: half/half partition duration in cycles to "
+             "sweep (repeatable)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, metavar="N",
+        help="fault_sweep only: seed for the injected faults (defaults to "
+             "--seed; same value replays the exact same faults)",
+    )
     args = parser.parse_args(argv)
+
+    fault_flags = args.loss_rates or args.partitions or args.fault_seed is not None
+    if fault_flags and args.command != "fault_sweep":
+        parser.error("--loss-rate/--partition/--fault-seed only apply to "
+                     "the fault_sweep command")
 
     if args.log_level:
         level = getattr(logging, args.log_level.upper(), None)
@@ -146,6 +183,13 @@ def main(argv: List[str] | None = None) -> int:
         return 2
 
     kwargs = _scaled_kwargs(args.command, args.scale)
+    if args.command == "fault_sweep":
+        if args.loss_rates:
+            kwargs["loss_rates"] = tuple(args.loss_rates)
+        if args.partitions:
+            kwargs["partition_cycles"] = tuple(args.partitions)
+        if args.fault_seed is not None:
+            kwargs["fault_seed"] = args.fault_seed
     t0 = time.time()
     with obs.scope(telemetry), telemetry.phase(args.command):
         rows = fn(seed=args.seed, **kwargs)

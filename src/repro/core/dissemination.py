@@ -124,6 +124,7 @@ def disseminate(
     is_alive = protocol.is_alive
     profile_of = protocol.profile_of
     link_cost = getattr(protocol, "link_cost", None)
+    transmit = _make_transmit(protocol, rec)
     seen: Set[int] = {publisher}
     # Queue entries: (address, hop_at_which_it_received, sender)
     queue: deque = deque()
@@ -166,7 +167,7 @@ def disseminate(
             prev = v
     else:
         for v in initial_targets:
-            if is_alive(v):
+            if is_alive(v) and (transmit is None or transmit(publisher, v)):
                 receive(v, 1, publisher)
 
     while queue:
@@ -174,8 +175,40 @@ def disseminate(
         for v in forwarding_targets(protocol, u, topic):
             if v == sender or not is_alive(v):
                 continue
+            if transmit is not None and not transmit(u, v):
+                continue
             receive(v, hop + 1, u)
     return rec
+
+
+def _make_transmit(protocol: "VitisProtocol", rec: DisseminationRecord):
+    """The per-edge transmission gate of the fast path, or None.
+
+    None on a perfect transport (zero-cost-off: the BFS takes the exact
+    pre-fault branches and consumes no RNG).  With a fault model attached,
+    each notify edge is one logical transmission the model may eat; a
+    healing policy grants ``delivery_retries`` resends per edge.  Faults
+    and retries are accumulated on the record (the injection path is *not*
+    gated here — its hops were already fault-checked by the lookup that
+    produced it).
+    """
+    fm = getattr(protocol, "fault_model", None)
+    if fm is None:
+        return None
+    from repro.faults.healing import send_with_retries
+
+    healing = getattr(protocol, "healing", None)
+    tries = 1 + (healing.delivery_retries if healing is not None else 0)
+    now = protocol.engine.now
+
+    def transmit(u: int, v: int) -> bool:
+        ok, drops = send_with_retries(fm, u, v, "notify", now, tries)
+        if drops:
+            rec.faults += drops
+            rec.retries += min(drops, tries - 1)
+        return ok
+
+    return transmit
 
 
 # ----------------------------------------------------------------------

@@ -92,6 +92,23 @@ class GatewayState:
         """Topics for which this node currently considers itself gateway."""
         return [t for t, p in self.proposals.items() if p.gw_addr == self.address]
 
+    def drop_dead(self, is_alive: Callable[[int], bool]) -> List[int]:
+        """Forget proposals whose gateway or parent is unreachable.
+
+        Returns the affected topics.  Used by relay repair: a stale
+        proposal pointing at a crashed gateway would otherwise win every
+        re-election round (Alg. 5 adopts the closest *known* gateway and
+        has no liveness input of its own — in deployment the proposal dies
+        with the profile message that stops arriving).
+        """
+        stale = [
+            t for t, p in self.proposals.items()
+            if not is_alive(p.gw_addr) or not is_alive(p.parent_addr)
+        ]
+        for t in stale:
+            del self.proposals[t]
+        return stale
+
     def clear(self) -> None:
         self.proposals.clear()
 

@@ -116,6 +116,18 @@ class OverlayProtocolBase:
         #: dissemination accumulates the physical cost of every message
         #: (see repro.core.proximity).
         self.link_cost = None
+        #: Optional :class:`repro.faults.FaultModel` — install via
+        #: :meth:`attach_faults`.  None everywhere = zero-cost-off: no
+        #: fault hook runs and no RNG is consumed.
+        self.fault_model = None
+        #: Optional :class:`repro.faults.HealingPolicy` (with one, faulted
+        #: lookups retry with route-around and relay trees are repaired).
+        self.healing = None
+        #: Lookup/delivery retransmissions spent so far (plain int so
+        #: tests and scenario rows need no telemetry backend).
+        self.fault_retries = 0
+        #: Relay-tree repairs performed so far (topics re-installed).
+        self.fault_repairs = 0
 
         self._topic_ids: Dict[int, int] = {}
         self.sub_index: Dict[int, Set[int]] = defaultdict(set)
@@ -247,11 +259,34 @@ class OverlayProtocolBase:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Fault injection (see docs/robustness.md)
+    # ------------------------------------------------------------------
+    def attach_faults(self, model, healing=None) -> None:
+        """Install a fault model (and optional healing policy).
+
+        The model is consulted by the network transport, greedy lookups,
+        heartbeats and the fast-path dissemination; the healing policy
+        bounds the retries/repairs spent against it.  Pass ``None`` to
+        detach and return to the perfect transport.
+        """
+        self.fault_model = model
+        self.healing = healing if model is not None else None
+        self.network.fault_model = model
+        self.network.telemetry = self.telemetry if model is not None else None
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def lookup(self, start: int, target_id: int) -> LookupResult:
         """Greedy lookup from ``start`` toward ``target_id`` over the
-        current routing tables."""
+        current routing tables.
+
+        With an attached fault model, each next hop is one transmission
+        the model may eat; a healing policy grants bounded retries that
+        route around the links seen failing (``_lookup_with_faults``).
+        """
+        if self.fault_model is not None:
+            return self._lookup_with_faults(start, target_id)
         node = self.nodes[start]
         result = greedy_route(
             self.space,
@@ -277,6 +312,82 @@ class OverlayProtocolBase:
             )
         return result
 
+    def _lookup_with_faults(self, start: int, target_id: int) -> LookupResult:
+        """Greedy lookup with timeout-and-retry route-around.
+
+        Each attempt walks with a ``link_ok`` gate: a hop the fault model
+        eats is treated as a timed-out next hop, remembered in ``blocked``
+        and routed around on the next attempt (the walk falls back to the
+        next-closest entry immediately within an attempt).  Attempts are
+        bounded by the healing policy (1 without one); the backoff between
+        attempts is bookkeeping-only here — within one cycle-synchronous
+        publish all attempts happen at one simulated instant, mirroring an
+        RPC timeout far shorter than the gossip period.
+        """
+        fm = self.fault_model
+        healing = self.healing
+        attempts = healing.lookup_attempts if healing is not None else 1
+        node = self.nodes[start]
+        now = self.engine.now
+        neighbors_of = lambda a: self.nodes[a].rt.links()
+        blocked: Set[tuple] = set()
+        faults = 0
+
+        def link_ok(u: int, v: int) -> bool:
+            nonlocal faults
+            if (u, v) in blocked:
+                return False
+            if fm.drop(u, v, "lookup", now):
+                blocked.add((u, v))
+                faults += 1
+                return False
+            return True
+
+        result = None
+        retries = 0
+        for attempt in range(attempts):
+            result = greedy_route(
+                self.space,
+                target_id,
+                start,
+                node.node_id,
+                neighbors_of=neighbors_of,
+                is_alive=self.is_alive,
+                max_hops=self.config.max_lookup_hops,
+                link_ok=link_ok,
+            )
+            if result.success:
+                break
+            retries = attempt + 1 if attempt + 1 < attempts else attempts - 1
+        self.fault_retries += retries
+
+        tel = self.telemetry
+        if tel.enabled:
+            m = tel.metrics
+            m.counter("lookups_total", system=self.name).inc()
+            if not result.success:
+                m.counter("lookups_failed_total", system=self.name).inc()
+            m.histogram("lookup_hops", system=self.name).observe(result.hops)
+            if faults:
+                m.counter(
+                    "faults_injected_total", site="lookup", system=self.name
+                ).inc(faults)
+            if retries:
+                m.counter("retries_total", system=self.name, kind="lookup").inc(retries)
+            tel.event(
+                "lookup",
+                t=now,
+                start=start,
+                hops=result.hops,
+                ok=result.success,
+            )
+            if tel.tracing and retries:
+                tel.event(
+                    "retry", t=now, kind="lookup", start=start,
+                    attempts=retries + 1, faults=faults, ok=result.success,
+                )
+        return result
+
     def rendezvous_of(self, topic: int) -> Optional[int]:
         """Ground truth: the live node circularly closest to hash(topic)."""
         live = self.live_addresses()
@@ -292,6 +403,8 @@ class OverlayProtocolBase:
         """Publish one event and return its dissemination record."""
         self._event_counter += 1
         rec = self._disseminate(topic, publisher, self._event_counter)
+        if rec.retries:
+            self.fault_retries += rec.retries
         tel = self.telemetry
         if tel.enabled:
             m = tel.metrics
@@ -299,6 +412,22 @@ class OverlayProtocolBase:
             m.counter("deliveries_total", system=self.name).inc(rec.n_delivered)
             m.counter("delivery_msgs_total", system=self.name).inc(rec.total_messages)
             m.counter("relay_msgs_total", system=self.name).inc(rec.total_relay_messages)
+            if rec.faults:
+                m.counter(
+                    "faults_injected_total", site="dissemination", system=self.name
+                ).inc(rec.faults)
+            if rec.retries:
+                m.counter("retries_total", system=self.name, kind="delivery").inc(rec.retries)
+            if tel.tracing and rec.faults:
+                tel.event(
+                    "fault", t=self.engine.now, site="dissemination",
+                    topic=topic, n=rec.faults,
+                )
+            if tel.tracing and rec.retries:
+                tel.event(
+                    "retry", t=self.engine.now, kind="delivery",
+                    topic=topic, n=rec.retries,
+                )
             if tel.tracing:
                 hops = rec.delivered_hops.values()
                 tel.event(
@@ -396,14 +525,53 @@ class VitisProtocol(OverlayProtocolBase):
         for node in live:
             if node.tman_step(self.nodes.get, self.is_alive, self.profile_of) is not None:
                 tman_ok += 1
-        for node in live:
-            evicted += len(node.heartbeat_step(self.is_alive))
+        evicted = self._heartbeat_round(live)
         if tel.enabled:
             self._record_gossip_cycle(cycle, len(live), ps_ok, tman_ok, evicted)
         if self.election_every and (cycle % self.election_every == 0):
             self.election_round()
         if self.relay_every and (cycle % self.relay_every == 0):
             self.install_relays()
+        elif self.healing is not None and self.healing.repair_relays:
+            # No full reinstall this cycle — repair just the severed trees.
+            self.repair_relays()
+
+    def _heartbeat_round(self, live: List[VitisNode]) -> int:
+        """Run every live node's heartbeat; returns total evictions.
+
+        With a fault model attached, the "profile message came back"
+        predicate of ``age_and_evict`` is itself subject to loss: a
+        heartbeat the model eats ages the entry as if the neighbor were
+        silent.  A partitioned neighbor therefore gets evicted within
+        ``staleness_threshold`` cycles, exactly like a dead one; an i.i.d.
+        loss model merely delays the age reset now and then.
+        """
+        fm = self.fault_model
+        if fm is None:
+            return sum(len(node.heartbeat_step(self.is_alive)) for node in live)
+        now = self.engine.now
+        is_alive = self.is_alive
+        evicted = 0
+        hb_faults = 0
+        for node in live:
+            src = node.address
+
+            def hb_ok(b: int, src: int = src) -> bool:
+                nonlocal hb_faults
+                if not is_alive(b):
+                    return False
+                if fm.drop(b, src, "heartbeat", now):
+                    hb_faults += 1
+                    return False
+                return True
+
+            evicted += len(node.heartbeat_step(hb_ok))
+        tel = self.telemetry
+        if hb_faults and tel.enabled:
+            tel.metrics.counter(
+                "faults_injected_total", site="heartbeat", system=self.name
+            ).inc(hb_faults)
+        return evicted
 
     def _record_gossip_cycle(
         self, cycle: int, live: int, ps_ok: int, tman_ok: int, evicted: int
@@ -542,6 +710,92 @@ class VitisProtocol(OverlayProtocolBase):
         for _ in range(rounds):
             self.election_round()
         self.install_relays()
+
+    # ------------------------------------------------------------------
+    # Self-healing (docs/robustness.md): repair severed relay trees
+    # ------------------------------------------------------------------
+    def repair_relays(self) -> int:
+        """Detect and repair relay trees broken by crashes or partitions.
+
+        A topic's tree is broken when some node's parent pointer or the
+        recorded rendezvous is dead or severed (partitioned away).  For
+        each broken topic the stale relay state is torn down and the
+        bounded-depth election + lookup re-run: stale proposals pointing
+        at unreachable gateways are purged first (``GatewayState.
+        drop_dead``), then — when the per-cycle election is not running —
+        ``gateway_depth + 1`` election rounds restore the Alg. 5 fixed
+        point before the paths are re-installed.  Returns the number of
+        topics repaired.
+        """
+        fm = self.fault_model
+        is_alive = self.is_alive
+        if fm is None:
+            reachable = lambda u, v: is_alive(v)
+        else:
+            now = self.engine.now
+            reachable = lambda u, v: is_alive(v) and not fm.severed(u, v, now)
+
+        broken: Set[int] = set()
+        live = self.live_addresses()
+        for a in live:
+            relay = self.nodes[a].relay
+            broken.update(relay.broken_parents(reachable))
+            relay.prune_children(reachable)
+        space = self.space
+        for topic, rv in list(self.relay_stats.rendezvous.items()):
+            if not is_alive(rv):
+                broken.add(topic)
+                continue
+            # Stale rendezvous: the recorded root is no longer a local
+            # minimum for hash(topic) — some reachable neighbor sits
+            # strictly closer (e.g. after a partition heals, the other
+            # half's closer nodes become visible again).  Re-rooting the
+            # tree there is what merges per-partition trees back into one.
+            tid = self.topic_id(topic)
+            rv_d = space.distance(self.nodes[rv].node_id, tid)
+            for naddr, nid in self.nodes[rv].rt.links():
+                if (
+                    space.distance(nid, tid) < rv_d
+                    and is_alive(naddr)
+                    and reachable(rv, naddr)
+                ):
+                    broken.add(topic)
+                    break
+        broken = {t for t in broken if self.subscribers(t)}
+        if not broken:
+            return 0
+
+        purged = 0
+        for a in live:
+            purged += len(self.nodes[a].gw_state.drop_dead(is_alive))
+        if not self.election_every:
+            for _ in range(self.config.gateway_depth + 1):
+                self.election_round()
+
+        tables = {a: n.relay for a, n in self.nodes.items()}
+        for topic in sorted(broken):
+            for tbl in tables.values():
+                tbl.drop_topic(topic)
+            self.relay_stats.rendezvous.pop(topic, None)
+            tid = self.topic_id(topic)
+            for gw in self.gateways_of(topic):
+                lr = self.lookup(gw, tid)
+                install_path(topic, lr, tables, self.relay_stats)
+        self.topology_version += 1
+
+        repaired = len(broken)
+        self.fault_repairs += repaired
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("repairs_total", system=self.name).inc(repaired)
+            if tel.tracing:
+                tel.event(
+                    "repair",
+                    t=self.engine.now,
+                    topics=repaired,
+                    purged_proposals=purged,
+                )
+        return repaired
 
     # ------------------------------------------------------------------
     # Dissemination

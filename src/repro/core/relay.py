@@ -58,6 +58,32 @@ class RelayTable:
         self.parent.pop(topic, None)
         self.children.pop(topic, None)
 
+    def broken_parents(self, reachable) -> List[int]:
+        """Topics whose parent pointer fails ``reachable(self, parent)``.
+
+        These are the branches severed by a crash or partition: events can
+        no longer flow from this node toward the rendezvous, so the
+        topic's path must be repaired (``VitisProtocol.repair_relays``).
+        """
+        return [
+            t for t, p in self.parent.items() if not reachable(self.address, p)
+        ]
+
+    def prune_children(self, reachable) -> int:
+        """Drop child pointers failing ``reachable(self, child)``; returns
+        the number removed.  A lost child severs only the subtree below it
+        — the child's own broken parent pointer triggers that repair."""
+        removed = 0
+        for t in list(self.children):
+            kids = self.children[t]
+            dead = {c for c in kids if not reachable(self.address, c)}
+            if dead:
+                kids -= dead
+                removed += len(dead)
+                if not kids:
+                    del self.children[t]
+        return removed
+
     def clear(self) -> None:
         self.parent.clear()
         self.children.clear()

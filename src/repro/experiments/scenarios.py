@@ -47,6 +47,7 @@ __all__ = [
     "fig10_twitter_sweep",
     "fig11_opt_degree_distribution",
     "fig12_churn",
+    "fault_sweep",
     "ablation_gateway_depth",
     "ablation_utility",
     "ablation_sampler",
@@ -600,4 +601,128 @@ def ablation_sampler(
         vitis = build_vitis(subs, VitisConfig(), seed=seed, sampler_cls=cls)
         col = measure(vitis, events, seed=seed + 1)
         rows.append(_metrics_row(col, system="vitis", sampler=name))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fault sweep (docs/robustness.md): delivery under faults, healing active
+# ----------------------------------------------------------------------
+def fault_sweep(
+    n_nodes: int = 200,
+    n_topics: int = 400,
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    partition_cycles: Sequence[int] = (),
+    kill_frac: float = 0.1,
+    heal_cycles: int = 12,
+    events: int = 150,
+    seed: int = 0,
+    fault_seed: Optional[int] = None,
+    systems: Sequence[str] = ("vitis", "rvr", "opt"),
+) -> List[Dict]:
+    """Hit ratio / delay / overhead under injected faults, repair running.
+
+    Two swept axes, same three systems:
+
+    - **loss axis** — for each rate in ``loss_rates``: i.i.d. message
+      loss (``repro.faults.MessageLoss``) plus a crash burst killing
+      ``kill_frac`` of the population (scheduled through
+      ``ChurnSchedule.crashes``), then ``heal_cycles`` gossip cycles for
+      heartbeat eviction and relay repair, then measurement with the loss
+      still active (rows with ``fault="loss"``, ``phase="steady"``);
+    - **partition axis** — for each duration ``d`` in
+      ``partition_cycles``: a half/half partition held for ``d`` cycles,
+      measured once just before it heals (``phase="partitioned"``) and
+      once ``heal_cycles`` cycles after (``phase="healed"``).
+
+    All fault randomness derives from ``fault_seed`` (defaults to
+    ``seed``), through per-(axis, system, point) :class:`SeedTree`
+    streams — the same fault seed replays the exact same faults, while
+    the build stays pinned to ``seed``.  Each row also reports
+    ``faults_injected`` (from the model), ``retries`` and ``repairs``
+    (from the protocol) so the healing machinery is visible without
+    telemetry.
+    """
+    from repro.faults import HealingPolicy, MessageLoss, Partition, crash_nodes
+    from repro.sim.churn import ChurnSchedule
+    from repro.sim.rng import SeedTree
+
+    cfg = VitisConfig()
+    builders = {
+        "vitis": lambda subs: build_vitis(subs, cfg, seed=seed),
+        "rvr": lambda subs: build_rvr(subs, cfg, seed=seed),
+        "opt": lambda subs: build_opt(subs, cfg, seed=seed),
+    }
+    unknown = [s for s in systems if s not in builders]
+    if unknown:
+        raise ValueError(f"unknown systems {unknown}; expected subset of {sorted(builders)}")
+
+    subs = make_subscriptions("high", n_nodes, n_topics, seed)
+    froot = SeedTree(seed if fault_seed is None else fault_seed)
+    rows: List[Dict] = []
+
+    def fault_row(collector, proto, model, **params) -> Dict:
+        row = _metrics_row(collector, **params)
+        row.update(
+            faults_injected=model.injected,
+            retries=proto.fault_retries,
+            repairs=proto.fault_repairs,
+        )
+        return row
+
+    for i, rate in enumerate(loss_rates):
+        for system in systems:
+            proto = builders[system](subs)
+            model = MessageLoss(rate, froot.pyrandom("loss", system, i))
+            proto.attach_faults(model, HealingPolicy())
+            kill_rng = froot.pyrandom("kill", system, i)
+            live = sorted(proto.live_addresses())
+            victims = sorted(kill_rng.sample(live, int(len(live) * kill_frac)))
+            if victims:
+                sched = ChurnSchedule.crashes(
+                    victims,
+                    at=proto.engine.now,
+                    spread=2 * cfg.gossip_period,
+                    rng=kill_rng,
+                )
+                sched.apply(
+                    proto.engine,
+                    join=proto.join,
+                    leave=lambda a, p=proto: crash_nodes(p, (a,)) and None,
+                )
+            proto.run_cycles(heal_cycles)
+            collector = measure(proto, events, seed=seed)
+            rows.append(fault_row(
+                collector, proto, model,
+                system=system, fault="loss", loss_rate=rate,
+                partition=0, phase="steady",
+            ))
+
+    for d in partition_cycles:
+        for system in systems:
+            proto = builders[system](subs)
+            now = proto.engine.now
+            # Heal mid-cycle so the measurement after d cycles still falls
+            # inside the partition window regardless of driver phase.
+            model = Partition.halves(
+                proto.live_addresses(),
+                start=now,
+                heal_at=now + (d + 0.5) * cfg.gossip_period,
+                rng=froot.pyrandom("partition", system, d),
+            )
+            proto.attach_faults(model, HealingPolicy())
+            proto.run_cycles(d)
+            collector = measure(proto, events, seed=seed)
+            rows.append(fault_row(
+                collector, proto, model,
+                system=system, fault="partition", loss_rate=0.0,
+                partition=d, phase="partitioned",
+            ))
+            proto.run_cycles(heal_cycles)
+            collector = measure(proto, events, seed=seed)
+            rows.append(fault_row(
+                collector, proto, model,
+                system=system, fault="partition", loss_rate=0.0,
+                partition=d, phase="healed",
+            ))
+
     return rows

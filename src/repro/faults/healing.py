@@ -1,0 +1,70 @@
+"""Self-healing policy knobs and the shared retry helper.
+
+A :class:`HealingPolicy` bounds how hard the protocol fights the fault
+model:
+
+- greedy lookups get up to ``lookup_attempts`` tries, each attempt
+  routing *around* the links that failed previously (see
+  ``OverlayProtocolBase._lookup_with_faults``), with a backoff between
+  attempts expressed in gossip cycles (the simulator charges it as
+  bookkeeping only — attempts within one publish happen at one simulated
+  instant, mirroring an RPC timeout far shorter than the gossip period);
+- per-hop dissemination transmissions get ``delivery_retries`` resends;
+- when ``repair_relays`` is set, the cycle loop re-elects gateways and
+  re-installs relay paths for topics whose parent or rendezvous died
+  (``VitisProtocol.repair_relays``).
+
+The policy is immutable so one instance can be shared across the systems
+of a comparison sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HealingPolicy", "send_with_retries"]
+
+
+@dataclass(frozen=True)
+class HealingPolicy:
+    """Bounded-retry/repair parameters for a faulty run."""
+
+    #: Total greedy-lookup attempts per publish/install (>= 1).
+    lookup_attempts: int = 3
+    #: Backoff base, in gossip cycles, between lookup attempts.
+    backoff_base: int = 1
+    #: Extra per-hop transmissions during dissemination (0 = fire once).
+    delivery_retries: int = 2
+    #: Re-run election + lookup for topics with dead parents/rendezvous.
+    repair_relays: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lookup_attempts < 1:
+            raise ValueError("lookup_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.delivery_retries < 0:
+            raise ValueError("delivery_retries must be >= 0")
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Cycles to wait before retry number ``attempt`` (1-based),
+        doubling per attempt: base, 2*base, 4*base, ...
+        """
+        if attempt < 1:
+            return 0
+        return self.backoff_base * (2 ** (attempt - 1))
+
+
+def send_with_retries(fault_model, src: int, dst: int, kind: str,
+                      now: float, tries: int) -> tuple[bool, int]:
+    """Attempt one logical transmission up to ``tries`` times.
+
+    Returns ``(delivered, drops)`` where ``drops`` counts the transmissions
+    the fault model ate (``drops == tries`` means the message was lost for
+    good; ``drops < tries`` means attempt ``drops + 1`` got through, i.e.
+    ``drops`` retries were spent).
+    """
+    drops = 0
+    while drops < tries and fault_model.drop(src, dst, kind, now):
+        drops += 1
+    return drops < tries, drops

@@ -116,6 +116,23 @@ class ChurnSchedule:
             events.append(ChurnEvent(at + jitter, addr, JOIN))
         return cls(events)
 
+    @classmethod
+    def crashes(
+        cls, addresses: Sequence[int], at: float, spread: float = 0.0, rng=None
+    ) -> "ChurnSchedule":
+        """A burst of leaves at (or within ``spread`` seconds after) ``at``.
+
+        Models crash-without-cleanup kills for fault injection: the victims
+        simply stop (the ``leave`` callback should not deregister state —
+        ``OverlayProtocolBase.leave`` already behaves this way), and the
+        survivors must notice via heartbeats and repair around them.
+        """
+        events = []
+        for addr in addresses:
+            jitter = float(rng.uniform(0.0, spread)) if (rng is not None and spread > 0) else 0.0
+            events.append(ChurnEvent(at + jitter, addr, LEAVE))
+        return cls(events)
+
     # ------------------------------------------------------------------
     # Combinators
     # ------------------------------------------------------------------
@@ -145,16 +162,19 @@ class ChurnSchedule:
         """Schedule every event on ``engine``.
 
         Events earlier than the engine's current time are rejected —
-        shift the schedule first.  Returns the number of events scheduled.
+        shift the schedule first.  All event times are validated before
+        anything is scheduled, so a rejected schedule leaves the engine
+        untouched.  Returns the number of events scheduled.
         """
         now = engine.now
-        n = 0
         for e in self.events:
             if e.time < now:
                 raise ValueError(
                     f"event at t={e.time} is in the past (engine at t={now}); "
                     "use .shifted() first"
                 )
+        n = 0
+        for e in self.events:
             cb = (lambda a=e.address: join(a)) if e.kind == JOIN else (
                 lambda a=e.address: leave(a)
             )
@@ -170,12 +190,20 @@ class ChurnSchedule:
         series: List[Tuple[float, int]] = []
         pop = 0
         idx = 0
-        t = 0.0
         events = self.events
-        while t <= self.horizon:
+        horizon = self.horizon
+        # Index-based sampling: repeated `t += resolution` accumulates float
+        # error and can stop one step short of the horizon, silently missing
+        # the trailing events.  Sample i*resolution until the sample time
+        # reaches the horizon, so the final sample always covers it.
+        i = 0
+        while True:
+            t = i * resolution
             while idx < len(events) and events[idx].time <= t:
                 pop += 1 if events[idx].kind == JOIN else -1
                 idx += 1
             series.append((t, pop))
-            t += resolution
+            if t >= horizon:
+                break
+            i += 1
         return series

@@ -59,6 +59,12 @@ class DisseminationRecord:
     #: Summed link cost of every message (only populated when the
     #: protocol defines a ``link_cost`` hook; units are the hook's).
     physical_cost: float = 0.0
+    #: Transmissions eaten by an attached fault model during this event's
+    #: dissemination (0 on a perfect transport).
+    faults: int = 0
+    #: Retransmissions spent recovering from those faults (bounded by the
+    #: healing policy; a fault with no retry budget left adds no retry).
+    retries: int = 0
 
     @property
     def n_subscribers(self) -> int:
@@ -108,6 +114,8 @@ def restrict_record(
         pull_requests=record.pull_requests,
         pull_replies=record.pull_replies,
         physical_cost=record.physical_cost,
+        faults=record.faults,
+        retries=record.retries,
     )
 
 

@@ -73,7 +73,12 @@ class Network:
         self.sent = Counter()       # message kind -> count
         self.delivered = Counter()  # message kind -> count
         self.dropped = Counter()    # message kind -> count
+        self.faulted = Counter()    # message kind -> count (fault-model drops)
         self.bytes_sent = 0
+        #: Optional :class:`repro.faults.FaultModel`; None = perfect transport.
+        self.fault_model = None
+        #: Optional telemetry for fault counters/events (None = uninstrumented).
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Registry
@@ -138,11 +143,18 @@ class Network:
 
         Delivery is scheduled on the engine after the latency model's delay;
         with the default zero-delay model the event still goes through the
-        engine queue, preserving causal ordering.
+        engine queue, preserving causal ordering.  An attached fault model
+        may drop the message outright (counted in ``faulted``, never
+        delivered) or inflate its delay.
         """
         self.sent[msg.kind] += 1
         self.bytes_sent += msg.size
         delay = self.latency.delay(msg.src, msg.dst)
+        if self.fault_model is not None:
+            if self.fault_model.drop(msg.src, msg.dst, msg.kind, self.engine.now):
+                self._record_fault(msg)
+                return
+            delay += self.fault_model.extra_delay(msg.src, msg.dst, self.engine.now)
         self.engine.schedule(delay, lambda m=msg: self._deliver(m))
 
     def send_sync(self, msg: Message) -> bool:
@@ -153,7 +165,25 @@ class Network:
         """
         self.sent[msg.kind] += 1
         self.bytes_sent += msg.size
+        if self.fault_model is not None and self.fault_model.drop(
+            msg.src, msg.dst, msg.kind, self.engine.now
+        ):
+            self._record_fault(msg)
+            return False
         return self._deliver(msg)
+
+    def _record_fault(self, msg: Message) -> None:
+        self.faulted[msg.kind] += 1
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.metrics.counter(
+                "faults_injected_total", site="network", kind=msg.kind
+            ).inc()
+            if tel.tracing:
+                tel.event(
+                    "fault", t=self.engine.now, site="network",
+                    kind=msg.kind, src=msg.src, dst=msg.dst,
+                )
 
     def _deliver(self, msg: Message) -> bool:
         node = self._nodes.get(msg.dst)
@@ -169,4 +199,5 @@ class Network:
         self.sent.clear()
         self.delivered.clear()
         self.dropped.clear()
+        self.faulted.clear()
         self.bytes_sent = 0

@@ -16,7 +16,7 @@ Vitis tables, RVR tables and ad-hoc test graphs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.core.identifiers import IdSpace
 
@@ -58,6 +58,7 @@ def greedy_route(
     neighbors_of: Callable[[int], Iterable[Tuple[int, int]]],
     is_alive: Callable[[int], bool],
     max_hops: int = 256,
+    link_ok: Optional[Callable[[int, int], bool]] = None,
 ) -> LookupResult:
     """Walk greedily toward ``target_id``.
 
@@ -66,6 +67,15 @@ def greedy_route(
     neighbor improves — the current node is the rendezvous.  A visited set
     guards against the (theoretically impossible on a correct ring, but
     possible mid-convergence) case of non-improving cycles.
+
+    ``link_ok(current, candidate)``, when given, is the route-around hook
+    for fault injection: candidates are tried best-first and the first one
+    whose link passes is taken; a candidate whose link fails is skipped
+    (its hop is "lost").  If *every* improving candidate's link fails, the
+    walk aborts with ``success=False`` so the caller can retry, excluding
+    the links it just saw fail.  ``link_ok`` is consulted at most once per
+    (current, candidate) step, so stochastic callables behave like one
+    transmission attempt per candidate.
     """
     result = LookupResult(target_id=target_id)
     if not is_alive(start_addr):
@@ -80,16 +90,37 @@ def greedy_route(
         if current_d == 0:
             result.success = True
             return result
-        best_addr, best_id, best_d = None, None, current_d
-        for naddr, nid in neighbors_of(current_addr):
-            if naddr in visited or not is_alive(naddr):
-                continue
-            d = space.distance(nid, target_id)
-            # Strict improvement required; ties broken by smaller address so
-            # concurrent lookups from different sources converge to the same
-            # rendezvous node (lookup consistency).
-            if d < best_d or (d == best_d and best_addr is not None and naddr < best_addr):
-                best_addr, best_id, best_d = naddr, nid, d
+        if link_ok is None:
+            best_addr, best_id, best_d = None, None, current_d
+            for naddr, nid in neighbors_of(current_addr):
+                if naddr in visited or not is_alive(naddr):
+                    continue
+                d = space.distance(nid, target_id)
+                # Strict improvement required; ties broken by smaller address
+                # so concurrent lookups from different sources converge to the
+                # same rendezvous node (lookup consistency).
+                if d < best_d or (d == best_d and best_addr is not None and naddr < best_addr):
+                    best_addr, best_id, best_d = naddr, nid, d
+        else:
+            candidates = sorted(
+                (space.distance(nid, target_id), naddr, nid)
+                for naddr, nid in neighbors_of(current_addr)
+                if naddr not in visited and is_alive(naddr)
+            )
+            improving = [c for c in candidates if c[0] < current_d]
+            if not improving:
+                # Local minimum: no link involved, same verdict as below.
+                result.success = True
+                return result
+            best_addr = best_id = None
+            for _d, naddr, nid in improving:
+                if link_ok(current_addr, naddr):
+                    best_addr, best_id = naddr, nid
+                    break
+            if best_addr is None:
+                # Every usable next hop was eaten by the fault model —
+                # abort so the caller can retry, routing around these links.
+                return result
         if best_addr is None:
             # Local minimum: current node is the closest it can see.
             result.success = True

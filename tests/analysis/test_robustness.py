@@ -26,7 +26,20 @@ class TestKillFraction:
     def test_validation(self, converged_vitis):
         rng = np.random.default_rng(1)
         with pytest.raises(ValueError):
-            kill_fraction(converged_vitis, 1.0, rng)
+            kill_fraction(converged_vitis, 1.5, rng)
+        with pytest.raises(ValueError):
+            kill_fraction(converged_vitis, -0.1, rng)
+
+    def test_full_fraction_kills_everyone(self, converged_vitis):
+        """fraction == 1.0 is explicitly allowed: total wipeout."""
+        rng = np.random.default_rng(1)
+        victims = kill_fraction(converged_vitis, 1.0, rng)
+        try:
+            assert converged_vitis.live_count() == 0
+        finally:
+            for a in victims:
+                converged_vitis.nodes[a].start()
+            converged_vitis.topology_version += 1  # refresh caches
 
 
 class TestFailureSweep:

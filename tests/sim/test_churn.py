@@ -85,6 +85,15 @@ class TestGenerators:
         s = ChurnSchedule.flash_crowd([1, 2, 3], at=10.0, spread=2.0, rng=rng)
         assert all(10.0 <= e.time <= 12.0 for e in s)
 
+    def test_crashes_mirror_flash_crowd(self):
+        s = ChurnSchedule.crashes([1, 2, 3], at=10.0)
+        assert all(e.time == 10.0 and e.kind == "leave" for e in s)
+        assert sorted(e.address for e in s) == [1, 2, 3]
+
+    def test_crashes_with_spread(self, rng):
+        s = ChurnSchedule.crashes([1, 2], at=10.0, spread=2.0, rng=rng)
+        assert all(10.0 <= e.time <= 12.0 and e.kind == "leave" for e in s)
+
 
 class TestApply:
     def test_callbacks_fire_in_order(self):
@@ -104,6 +113,24 @@ class TestApply:
         with pytest.raises(ValueError):
             s.apply(e, lambda a: None, lambda a: None)
 
+    def test_rejected_apply_schedules_nothing(self):
+        """Validation is all-or-nothing: a schedule with one past event
+        must not leave its earlier (valid) events on the engine."""
+        e = Engine()
+        e.schedule(5.0, lambda: None)
+        e.run()
+        log = []
+        s = ChurnSchedule([
+            ChurnEvent(6.0, 1, "join"),   # valid at t=5
+            ChurnEvent(7.0, 2, "join"),   # valid at t=5
+            ChurnEvent(1.0, 3, "join"),   # in the past -> whole apply fails
+        ])
+        with pytest.raises(ValueError):
+            s.apply(e, join=lambda a: log.append(a), leave=lambda a: log.append(a))
+        e.run()
+        assert log == []
+        assert e.now == 5.0  # nothing was scheduled, so time never advanced
+
 
 class TestPopulationSeries:
     def test_counts_net_population(self):
@@ -112,3 +139,18 @@ class TestPopulationSeries:
         assert series[0.0] == 1
         assert series[5.0] == 2
         assert series[10.0] == 0
+
+    def test_fractional_resolution_reaches_the_horizon(self):
+        """Regression: with resolution=0.1, accumulated float error used to
+        stop the sampling loop one step short of the horizon, silently
+        dropping the trailing events from the series."""
+        s = ChurnSchedule.from_sessions([(1, 0.0, 1.0)])
+        series = s.population_series(resolution=0.1)
+        t_last, pop_last = series[-1]
+        assert t_last >= s.horizon
+        assert pop_last == 0  # the leave at t=1.0 is included
+        # Every event is folded in exactly once overall.
+        assert series[0][1] == 1
+
+    def test_empty_schedule_yields_one_sample(self):
+        assert ChurnSchedule([]).population_series() == [(0.0, 0)]
