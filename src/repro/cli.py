@@ -7,9 +7,20 @@
     python -m repro fig9
     ...
 
-Each figure command runs the corresponding scenario at its default
-(bench) size multiplied by ``--scale`` and prints the row table; ``--csv``
-additionally writes the raw rows.
+Each figure command builds the corresponding scenario's sweep
+(:data:`repro.experiments.scenarios.SCENARIOS`) at its default (bench)
+size multiplied by ``--scale``, runs it through the trial executor and
+prints the row table; ``--csv`` additionally writes the raw rows.
+
+Execution flags (see ``docs/experiments.md``):
+
+- ``--jobs N`` — run the sweep's trials in N worker processes.  Row
+  output is byte-identical to a serial run with the same seed;
+- ``--cache-dir DIR`` — write every completed trial result to a
+  resumable on-disk cache;
+- ``--resume`` — with ``--cache-dir``: load already-cached trials
+  instead of re-running them, so an interrupted sweep restarts where it
+  stopped.
 
 Telemetry flags (see ``docs/observability.md``):
 
@@ -36,61 +47,19 @@ import json
 import logging
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro import obs
-from repro.experiments import reporting, scenarios
+from repro.experiments import reporting
+from repro.experiments.executor import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    run_sweep,
+)
+from repro.experiments.scenarios import SCENARIOS
 
 __all__ = ["main"]
-
-
-def _scaled_kwargs(fig: str, scale: float) -> Dict:
-    """Scale the population knobs of a scenario."""
-    int_knobs = {
-        "fig4": {"n_nodes": 300, "n_topics": 1000},
-        "fig5": {"n_nodes": 300, "n_topics": 1000},
-        "fig6": {"n_nodes": 300, "n_topics": 1000},
-        "fig7": {"n_nodes": 300, "n_topics": 1000},
-        "fig8": {"n_users": 20000},
-        "fig9": {"n_users": 20000},
-        "fig10": {"n_users": 6000, "sample_size": 600},
-        "fig11": {"n_users": 6000, "sample_size": 600},
-        "fig12": {"pool": 250},
-        "ablation_depth": {"n_nodes": 300, "n_topics": 1000},
-        "ablation_utility": {"n_nodes": 300, "n_topics": 1000},
-        "ablation_sampler": {"n_nodes": 300, "n_topics": 1000},
-        "ablation_sw": {"n_nodes": 300, "n_topics": 1000},
-        "ablation_proximity": {"n_nodes": 300, "n_topics": 1000},
-        "management_cost": {"n_users": 4000, "sample_size": 400},
-        "fault_sweep": {"n_nodes": 200, "n_topics": 400},
-    }.get(fig, {})
-    if fig == "fault_sweep":
-        # The bucketed subscription generator needs n_topics divisible by
-        # its bucket count (n_topics/50 for the "high" pattern).
-        scaled = {k: max(2, int(v * scale)) for k, v in int_knobs.items()}
-        nt = scaled.get("n_topics", 400)
-        scaled["n_topics"] = max(100, 50 * round(nt / 50))
-        return scaled
-    return {k: max(2, int(v * scale)) for k, v in int_knobs.items()}
-
-
-_COMMANDS: Dict[str, Callable] = {
-    "fig4": scenarios.fig4_friends_vs_sw,
-    "fig5": scenarios.fig5_overhead_distribution,
-    "fig6": scenarios.fig6_routing_table_size,
-    "fig7": scenarios.fig7_publication_rate,
-    "fig8": scenarios.fig8_twitter_degrees,
-    "fig10": scenarios.fig10_twitter_sweep,
-    "fig11": scenarios.fig11_opt_degree_distribution,
-    "fig12": scenarios.fig12_churn,
-    "ablation_depth": scenarios.ablation_gateway_depth,
-    "ablation_utility": scenarios.ablation_utility,
-    "ablation_sampler": scenarios.ablation_sampler,
-    "ablation_sw": scenarios.ablation_sw_links,
-    "ablation_proximity": scenarios.ablation_proximity,
-    "management_cost": scenarios.management_cost,
-    "fault_sweep": scenarios.fault_sweep,
-}
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -105,6 +74,20 @@ def main(argv: List[str] | None = None) -> int:
         help="population multiplier over the bench defaults",
     )
     parser.add_argument("--csv", help="also write raw rows to this CSV file")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run trials in N worker processes (output is identical to a "
+             "serial run)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist every completed trial result under DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --cache-dir: load cached trial results instead of "
+             "re-running them",
+    )
     parser.add_argument(
         "--trace-out", metavar="FILE.jsonl",
         help="write a structured JSONL protocol-event trace",
@@ -143,6 +126,10 @@ def main(argv: List[str] | None = None) -> int:
     if fault_flags and args.command != "fault_sweep":
         parser.error("--loss-rate/--partition/--fault-seed only apply to "
                      "the fault_sweep command")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.cache_dir:
+        parser.error("--resume requires --cache-dir")
 
     if args.log_level:
         level = getattr(logging, args.log_level.upper(), None)
@@ -156,9 +143,14 @@ def main(argv: List[str] | None = None) -> int:
 
     if args.command == "list":
         print("available experiments:")
-        for name in sorted(_COMMANDS) + ["fig9"]:
+        for name in sorted(SCENARIOS):
             print(f"  {name}")
         return 0
+
+    scenario = SCENARIOS.get(args.command)
+    if scenario is None:
+        print(f"unknown command {args.command!r}; try 'list'", file=sys.stderr)
+        return 2
 
     try:
         telemetry = _make_telemetry(args)
@@ -166,33 +158,22 @@ def main(argv: List[str] | None = None) -> int:
         # Fail before the run, not after it: the trace file opens eagerly.
         parser.error(f"cannot open --trace-out: {exc}")
 
-    if args.command == "fig9":
-        kwargs = _scaled_kwargs("fig9", args.scale)
-        with obs.scope(telemetry):
-            summary = scenarios.fig9_twitter_summary(seed=args.seed, **kwargs)
-        rows = [{"statistic": k, "value": v} for k, v in summary.items()]
-        print(reporting.format_table(rows, title="Fig. 9 — Twitter trace statistics"))
-        if args.csv:
-            _write_csv(args.csv, rows)
-        _finish_telemetry(telemetry, args)
-        return 0
-
-    fn = _COMMANDS.get(args.command)
-    if fn is None:
-        print(f"unknown command {args.command!r}; try 'list'", file=sys.stderr)
-        return 2
-
-    kwargs = _scaled_kwargs(args.command, args.scale)
+    overrides: Dict = {}
     if args.command == "fault_sweep":
         if args.loss_rates:
-            kwargs["loss_rates"] = tuple(args.loss_rates)
+            overrides["loss_rates"] = tuple(args.loss_rates)
         if args.partitions:
-            kwargs["partition_cycles"] = tuple(args.partitions)
+            overrides["partition_cycles"] = tuple(args.partitions)
         if args.fault_seed is not None:
-            kwargs["fault_seed"] = args.fault_seed
+            overrides["fault_seed"] = args.fault_seed
+
+    sweep = scenario.sweep(seed=args.seed, scale=args.scale, **overrides)
+    executor = ParallelExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
     t0 = time.time()
     with obs.scope(telemetry), telemetry.phase(args.command):
-        rows = fn(seed=args.seed, **kwargs)
+        rows = run_sweep(sweep, executor=executor, cache=cache, resume=args.resume)
     elapsed = time.time() - t0
     print(reporting.format_table(rows, title=f"{args.command} ({elapsed:.1f}s)"))
     if args.csv:

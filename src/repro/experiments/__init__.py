@@ -2,6 +2,12 @@
 
 - :mod:`repro.experiments.runner` — build/converge/measure primitives
   shared by all scenarios.
+- :mod:`repro.experiments.spec` — the declarative layer: picklable
+  :class:`Trial` points, ordered :class:`Sweep`\\ s with a reduce step,
+  and the :class:`Scenario` registry entry binding a sweep builder to
+  its bench sizes.
+- :mod:`repro.experiments.executor` — serial and multi-process trial
+  executors plus the resumable on-disk :class:`ResultCache`.
 - :mod:`repro.experiments.scenarios` — ``fig4`` … ``fig12`` plus the
   ablations from DESIGN.md; each returns plain row dicts with the same
   axes as the paper figure.
@@ -15,6 +21,12 @@ paper's 10,000.
 
 import os
 
+from repro.experiments.executor import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    run_sweep,
+)
 from repro.experiments.runner import (
     build_opt,
     build_rvr,
@@ -23,17 +35,33 @@ from repro.experiments.runner import (
     measure,
 )
 from repro.experiments.reporting import format_table, rows_to_csv
+from repro.experiments.spec import (
+    Scenario,
+    Sweep,
+    Trial,
+    derive_seed,
+    trial_key,
+)
 
 __all__ = [
+    "ParallelExecutor",
+    "ResultCache",
+    "Scenario",
+    "SerialExecutor",
+    "Sweep",
+    "Trial",
     "build_opt",
     "build_rvr",
     "build_vitis",
     "converge",
+    "derive_seed",
     "format_table",
     "measure",
     "rows_to_csv",
+    "run_sweep",
     "scale",
     "scaled",
+    "trial_key",
 ]
 
 

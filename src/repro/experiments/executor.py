@@ -1,0 +1,228 @@
+"""Trial executors and the resumable on-disk result cache.
+
+The execution layer of the experiment architecture
+(:mod:`repro.experiments.spec` is the spec layer): given a
+:class:`~repro.experiments.spec.Sweep`, run its trials — serially or
+across worker processes — and hand the results, in trial order, to the
+sweep's reduce step.
+
+Determinism contract
+--------------------
+Row order and row content are independent of executor choice: trials are
+self-contained, results are gathered in trial order (never completion
+order), and every result — fresh or cached — passes through the same
+JSON normalisation.  ``SerialExecutor`` and ``ParallelExecutor(jobs=N)``
+therefore produce byte-identical row lists for the same sweep and seed.
+
+Telemetry
+---------
+``SerialExecutor`` runs trials under the ambient :func:`repro.obs.current`
+telemetry — phases nest naturally.  ``ParallelExecutor`` gives each worker
+a fresh in-process :class:`~repro.obs.Telemetry` (metrics + phases; no
+trace file, which cannot be shared across processes), captures it as a
+snapshot, and merges the snapshots into the parent telemetry on join, in
+trial order.  Counter totals and phase call counts are therefore
+identical to a serial run; phase *wall times* sum the workers' concurrent
+time and may exceed the parent's elapsed time.
+
+Caching
+-------
+:class:`ResultCache` stores each completed trial's result as JSON under
+``<root>/<sweep>/<trial-hash>.json``, keyed by
+:func:`~repro.experiments.spec.trial_key` (sweep name, trial function,
+canonical kwargs, seed).  With ``resume=True`` cached trials are loaded
+instead of re-run, so an interrupted sweep restarts where it stopped and
+re-running an identical spec is a pure cache read.  Writes are atomic
+(temp file + rename), so a killed run never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.experiments.spec import Sweep, Trial, trial_key
+
+__all__ = [
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "run_sweep",
+]
+
+log = logging.getLogger(__name__)
+
+_MISSING = object()
+
+
+def _json_default(obj):
+    if hasattr(obj, "item"):
+        return obj.item()  # numpy scalar
+    raise TypeError(f"trial results must be JSON-able, got {type(obj).__name__}")
+
+
+def normalize_result(result: Any) -> Any:
+    """A JSON round-trip of ``result``.
+
+    Applied to *every* trial result, fresh or cached, so a run served
+    from the cache is byte-identical to the run that populated it
+    (tuples become lists, numpy scalars become Python numbers, dict key
+    order is preserved).
+    """
+    return json.loads(json.dumps(result, default=_json_default))
+
+
+class SerialExecutor:
+    """Runs trials inline, in trial order, under the ambient telemetry."""
+
+    jobs = 1
+
+    def run_trials(self, trials: Sequence[Trial]) -> List[Any]:
+        return [t.run() for t in trials]
+
+
+def _worker_run(fn, kwargs, seed: int, instrument: bool) -> Tuple[Any, Optional[Dict]]:
+    """Top-level worker entry (must be picklable by reference).
+
+    Runs one trial under a fresh telemetry scope — never the telemetry
+    object a forked child inherited, whose trace file descriptor is
+    shared with the parent — and returns the result plus a snapshot of
+    the metrics and phase timings when instrumentation is on.
+    """
+    telemetry = obs.Telemetry() if instrument else obs.NULL
+    with obs.scope(telemetry):
+        result = fn(seed=seed, **kwargs)
+    return result, (telemetry.snapshot() if instrument else None)
+
+
+class ParallelExecutor:
+    """Runs trials in ``jobs`` worker processes.
+
+    Results are gathered in trial order and worker telemetry snapshots
+    are merged into the ambient telemetry in that same order, so the
+    output — rows, counter totals, phase tree — matches a serial run.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run_trials(self, trials: Sequence[Trial]) -> List[Any]:
+        if not trials:
+            return []
+        parent = obs.current()
+        instrument = parent.enabled
+        results: List[Any] = []
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [
+                pool.submit(_worker_run, t.fn, dict(t.kwargs), t.seed, instrument)
+                for t in trials
+            ]
+            for trial, future in zip(trials, futures):
+                try:
+                    result, snap = future.result()
+                except Exception:
+                    log.error("trial %s/%s failed", trial.fn.__qualname__, trial.key)
+                    raise
+                if snap is not None:
+                    parent.merge_snapshot(snap)
+                results.append(result)
+        return results
+
+
+class ResultCache:
+    """Completed-trial results on disk, one JSON file per trial hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path(self, sweep_name: str, key: str) -> Path:
+        return self.root / sweep_name / f"{key}.json"
+
+    def load(self, sweep_name: str, key: str) -> Any:
+        """The cached result, or ``_MISSING`` on absence or corruption."""
+        path = self.path(sweep_name, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return _MISSING
+        if entry.get("key") != key:
+            return _MISSING
+        return entry["result"]
+
+    def store(self, sweep_name: str, key: str, spec: Dict, result: Any) -> None:
+        """Atomically persist one trial result (temp file + rename)."""
+        path = self.path(sweep_name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "spec": spec, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, default=_json_default)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+def run_sweep(
+    sweep: Sweep,
+    executor=None,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+) -> List[Dict]:
+    """Execute a sweep's trials and reduce the results to figure rows.
+
+    Parameters
+    ----------
+    executor:
+        ``SerialExecutor`` (default) or ``ParallelExecutor(jobs=N)``.
+    cache:
+        When set, every completed trial result is written through to the
+        cache.
+    resume:
+        When set (requires ``cache``), trials whose result is already
+        cached are loaded instead of re-run; only the missing trials hit
+        the executor.
+    """
+    if resume and cache is None:
+        raise ValueError("resume=True requires a cache")
+    executor = executor if executor is not None else SerialExecutor()
+    telemetry = obs.current()
+
+    keys = [trial_key(sweep, t) for t in sweep.trials]
+    results: List[Any] = [_MISSING] * len(sweep.trials)
+
+    cached = 0
+    if cache is not None and resume:
+        for i, key in enumerate(keys):
+            hit = cache.load(sweep.name, key)
+            if hit is not _MISSING:
+                results[i] = hit
+                cached += 1
+
+    pending = [i for i, r in enumerate(results) if r is _MISSING]
+    if pending:
+        fresh = executor.run_trials([sweep.trials[i] for i in pending])
+        for i, result in zip(pending, fresh):
+            result = normalize_result(result)
+            results[i] = result
+            if cache is not None:
+                cache.store(sweep.name, keys[i], sweep.trials[i].spec_dict(), result)
+
+    if telemetry.enabled:
+        telemetry.metrics.counter("trials_total", sweep=sweep.name).inc(len(results))
+        telemetry.metrics.counter("trials_cached_total", sweep=sweep.name).inc(cached)
+    if cached:
+        log.info("sweep %s: %d/%d trials served from cache",
+                 sweep.name, cached, len(results))
+    return sweep.reduce(results)

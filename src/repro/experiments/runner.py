@@ -200,8 +200,14 @@ def measure(
         drawn = sample_topics(protocol.rates, n_events, rng, restrict=candidates)
 
         now = protocol.engine.now
+        # The subscriber set is static for the duration of a measurement
+        # pass (no cycles run between publishes), so sort it once per
+        # topic instead of once per published event.
+        sorted_subs: dict = {}
         for topic in drawn:
-            subs = sorted(protocol.subscribers(topic))
+            subs = sorted_subs.get(topic)
+            if subs is None:
+                subs = sorted_subs[topic] = sorted(protocol.subscribers(topic))
             if publisher == "owner":
                 pub = topic
                 if not protocol.is_alive(pub):

@@ -59,6 +59,32 @@ class PhaseTimer:
         if self.on_exit is not None:
             self.on_exit(path, elapsed)
 
+    def current_path(self) -> str:
+        """The phase path currently open (``""`` outside any phase)."""
+        return "/".join(self._stack)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge — how worker-process timers reach the parent.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Picklable dump of the accumulated totals and call counts."""
+        return {"totals": dict(self._totals), "calls": dict(self._calls)}
+
+    def merge(self, snapshot: Dict, prefix: str = "") -> None:
+        """Fold a :meth:`snapshot` into this timer.
+
+        ``prefix`` nests the incoming paths (a worker's ``converge``
+        becomes ``fig4/converge`` when merged under the parent's ``fig4``
+        phase).  ``on_exit`` is not fired for merged entries — they were
+        already reported where they ran.
+        """
+        totals = snapshot.get("totals", {})
+        calls = snapshot.get("calls", {})
+        for path, elapsed in totals.items():
+            full = f"{prefix}/{path}" if prefix else path
+            self._totals[full] = self._totals.get(full, 0.0) + elapsed
+            self._calls[full] = self._calls.get(full, 0) + calls.get(path, 1)
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._totals)

@@ -149,6 +149,70 @@ class MetricsRegistry:
         return h
 
     # ------------------------------------------------------------------
+    # Snapshot / merge — how worker-process registries reach the parent.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A picklable, structural dump for cross-process transfer.
+
+        Unlike :meth:`to_dict` (which renders keys for JSON output), the
+        snapshot keeps names and label sets apart so :meth:`merge` can
+        re-address the same instruments in another registry.
+        """
+        return {
+            "counters": [
+                [n, list(k), c.value] for (n, k), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [n, list(k), g.value] for (n, k), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [
+                    n,
+                    list(k),
+                    {
+                        "buckets": list(h.buckets),
+                        "bucket_counts": list(h.bucket_counts),
+                        "count": h.count,
+                        "sum": h.sum,
+                        "min": h.min,
+                        "max": h.max,
+                    },
+                ]
+                for (n, k), h in sorted(self._histograms.items())
+            ],
+        }
+
+    def merge(self, snapshot: Dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histograms add element-wise (the bucket layouts must
+        match), gauges take the snapshot's value — merge snapshots in a
+        deterministic order if last-write-wins matters.
+        """
+        for name, key, value in snapshot.get("counters", ()):
+            self.counter(name, **dict(key)).inc(value)
+        for name, key, value in snapshot.get("gauges", ()):
+            self.gauge(name, **dict(key)).set(value)
+        for name, key, data in snapshot.get("histograms", ()):
+            h = self.histogram(name, buckets=data["buckets"], **dict(key))
+            if h.buckets != tuple(sorted(data["buckets"])):
+                raise ValueError(
+                    f"histogram {name!r} bucket layout mismatch: "
+                    f"{h.buckets} vs {data['buckets']}"
+                )
+            for i, c in enumerate(data["bucket_counts"]):
+                h.bucket_counts[i] += c
+            h.count += data["count"]
+            h.sum += data["sum"]
+            for attr in ("min", "max"):
+                incoming = data[attr]
+                if incoming is None:
+                    continue
+                current = getattr(h, attr)
+                pick = min if attr == "min" else max
+                setattr(h, attr, incoming if current is None else pick(current, incoming))
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
 

@@ -114,6 +114,27 @@ class Telemetry:
         print(f"[progress] {line()}", file=self._progress_stream, flush=True)
 
     # ------------------------------------------------------------------
+    # Snapshot / merge — parallel executors capture a worker's telemetry
+    # as a picklable snapshot and fold it into the parent on join, so
+    # ``--metrics-out`` and the phase breakdown stay correct under
+    # ``--jobs N``.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Picklable dump of the metrics registry and phase timer."""
+        return {"metrics": self.metrics.snapshot(), "phases": self.phases.snapshot()}
+
+    def merge_snapshot(self, snapshot: Dict) -> None:
+        """Fold a worker's :meth:`snapshot` into this telemetry.
+
+        Counters and histograms accumulate; phase paths nest under the
+        phase currently open here (a worker's ``converge`` merged while
+        ``fig4`` is open lands at ``fig4/converge``).  Merge snapshots in
+        trial order for deterministic gauge values.
+        """
+        self.metrics.merge(snapshot.get("metrics", {}))
+        self.phases.merge(snapshot.get("phases", {}), prefix=self.phases.current_path())
+
+    # ------------------------------------------------------------------
     def metrics_dump(self) -> Dict:
         """Everything except the raw trace, as one JSON-serialisable dict."""
         return {
@@ -157,6 +178,12 @@ class NullTelemetry(Telemetry):
         return contextlib.nullcontext()
 
     def progress(self, line: Callable[[], str]) -> None:
+        pass
+
+    def snapshot(self) -> Dict:
+        return {"metrics": {}, "phases": {}}
+
+    def merge_snapshot(self, snapshot: Dict) -> None:
         pass
 
     def metrics_dump(self) -> Dict:

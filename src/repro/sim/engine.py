@@ -20,18 +20,46 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 __all__ = ["Engine", "CycleDriver", "PeriodicTask"]
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One scheduled callback.
+
+    ``cancelled`` is a property so the owning engine's live-event counter
+    stays exact without scanning the heap: setting it while the event is
+    queued adjusts the count; after the event has surfaced (fired or
+    lazily discarded) the engine detaches itself and further writes are
+    inert.
+    """
+
+    __slots__ = ("time", "seq", "callback", "_cancelled", "_engine")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self._cancelled = False
+        self._engine: Optional["Engine"] = None
+
+    def __lt__(self, other: "_Event") -> bool:
+        # Heap order: time, then scheduling order (FIFO within an instant).
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @cancelled.setter
+    def cancelled(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._cancelled:
+            return
+        self._cancelled = value
+        if self._engine is not None:
+            self._engine._live += -1 if value else 1
 
 
 class Engine:
@@ -46,6 +74,7 @@ class Engine:
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -57,11 +86,10 @@ class Engine:
         """Number of *live* events still queued.
 
         Cancelled entries stay in the heap until they surface (lazy
-        deletion), so this scans rather than reporting ``len`` — the
-        queue-depth gauge must not count tombstones.  O(queue); sampled
-        per cycle, not per event.
+        deletion), so ``len(queue)`` would count tombstones; instead the
+        count is maintained incrementally on schedule/cancel/pop.  O(1).
         """
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        return self._live
 
     @property
     def processed(self) -> int:
@@ -76,22 +104,38 @@ class Engine:
         """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        ev = _Event(self._now + delay, next(self._counter), callback)
-        heapq.heappush(self._queue, ev)
-        return ev
+        return self._push(self._now + delay, callback)
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> _Event:
         """Schedule ``callback`` at absolute simulated time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        return self._push(when, callback)
+
+    def _push(self, when: float, callback: Callable[[], None]) -> _Event:
         ev = _Event(when, next(self._counter), callback)
+        ev._engine = self
+        self._live += 1
         heapq.heappush(self._queue, ev)
+        return ev
+
+    def _pop(self) -> _Event:
+        """Remove the head event, detaching it from the live count.
+
+        A live head decrements the count; a cancelled head already did
+        when it was cancelled.  Either way the handle goes inert so a
+        late ``cancelled = True`` on a fired event cannot corrupt it.
+        """
+        ev = heapq.heappop(self._queue)
+        if not ev._cancelled:
+            self._live -= 1
+        ev._engine = None
         return ev
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
         while self._queue:
-            ev = heapq.heappop(self._queue)
+            ev = self._pop()
             if ev.cancelled:
                 continue
             self._now = ev.time
@@ -112,7 +156,7 @@ class Engine:
                 return
             nxt = self._queue[0]
             if nxt.cancelled:
-                heapq.heappop(self._queue)
+                self._pop()
                 continue
             if until is not None and nxt.time > until:
                 break
@@ -125,7 +169,10 @@ class Engine:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left where it is)."""
+        for ev in self._queue:
+            ev._engine = None
         self._queue.clear()
+        self._live = 0
 
 
 class PeriodicTask:

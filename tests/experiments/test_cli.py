@@ -35,6 +35,34 @@ class TestCli:
         assert "degree" in capsys.readouterr().out
 
 
+class TestExecutionFlags:
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--resume"])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--jobs", "0"])
+
+    def test_jobs_output_identical_to_serial(self, tmp_path, capsys):
+        ser, par = tmp_path / "ser.csv", tmp_path / "par.csv"
+        assert main(["fig8", "--scale", "0.02", "--seed", "1",
+                     "--csv", str(ser)]) == 0
+        assert main(["fig8", "--scale", "0.02", "--seed", "1",
+                     "--jobs", "2", "--csv", str(par)]) == 0
+        assert ser.read_text() == par.read_text()
+
+    def test_cache_dir_resume_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        one, two = tmp_path / "a.csv", tmp_path / "b.csv"
+        argv = ["fig8", "--scale", "0.02", "--seed", "1",
+                "--cache-dir", str(cache)]
+        assert main(argv + ["--csv", str(one)]) == 0
+        assert (cache / "fig8").exists()
+        assert main(argv + ["--resume", "--csv", str(two)]) == 0
+        assert one.read_text() == two.read_text()
+
+
 class TestTelemetryFlags:
     def test_trace_and_metrics_outputs(self, tmp_path, capsys):
         trace_path = tmp_path / "t.jsonl"

@@ -1,0 +1,178 @@
+"""Tests for the trial executors, the result cache, and the determinism
+contract (serial == parallel == cached, byte for byte)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments import scenarios
+from repro.experiments.executor import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    run_sweep,
+)
+from repro.experiments.spec import Sweep, trial_key
+
+# Tiny sizes: these exercise the plumbing, not the physics.
+FIG4_KW = dict(n_nodes=40, n_topics=100, friend_counts=(0, 6),
+               patterns=("high",), events=40)
+FAULT_KW = dict(n_nodes=40, n_topics=100, loss_rates=(0.0, 0.1),
+                partition_cycles=(3,), heal_cycles=4, events=30)
+
+
+class RecordingExecutor(SerialExecutor):
+    """Counts how many trials actually execute (for resume tests)."""
+
+    def __init__(self):
+        self.ran = []
+
+    def run_trials(self, trials):
+        self.ran.extend(t.key for t in trials)
+        return super().run_trials(trials)
+
+
+class TestExecutorEquivalence:
+    def test_fig4_serial_vs_parallel_identical(self):
+        ser = scenarios.fig4_friends_vs_sw(seed=1, **FIG4_KW)
+        par = scenarios.fig4_friends_vs_sw(
+            seed=1, executor=ParallelExecutor(2), **FIG4_KW
+        )
+        assert json.dumps(ser, sort_keys=True) == json.dumps(par, sort_keys=True)
+
+    def test_fault_sweep_serial_vs_parallel_identical(self):
+        ser = scenarios.fault_sweep(seed=3, **FAULT_KW)
+        par = scenarios.fault_sweep(seed=3, executor=ParallelExecutor(2), **FAULT_KW)
+        assert json.dumps(ser, sort_keys=True) == json.dumps(par, sort_keys=True)
+
+    def test_parallel_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestResultCache:
+    def test_write_through_then_pure_cache_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        first = run_sweep(sweep, cache=cache)
+
+        rec = RecordingExecutor()
+        again = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        second = run_sweep(again, executor=rec, cache=cache, resume=True)
+        assert rec.ran == []  # identical spec: nothing re-runs
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_interrupted_sweep_resumes_missing_trials_only(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        full = run_sweep(sweep, cache=cache)
+
+        # Simulate a mid-way kill: drop two of the cached trial results.
+        sweep2 = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        killed = [sweep2.trials[0], sweep2.trials[-1]]
+        for t in killed:
+            cache.path(sweep2.name, trial_key(sweep2, t)).unlink()
+
+        rec = RecordingExecutor()
+        resumed = run_sweep(sweep2, executor=rec, cache=cache, resume=True)
+        assert rec.ran == [t.key for t in killed]
+        assert json.dumps(full, sort_keys=True) == json.dumps(resumed, sort_keys=True)
+
+    def test_seed_change_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW), cache=cache)
+        rec = RecordingExecutor()
+        other = scenarios.fig4_spec(seed=2, **FIG4_KW)
+        run_sweep(other, executor=rec, cache=cache, resume=True)
+        assert len(rec.ran) == len(other.trials)
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        full = run_sweep(sweep, cache=cache)
+
+        sweep2 = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        victim = cache.path(sweep2.name, trial_key(sweep2, sweep2.trials[0]))
+        victim.write_text("{not json")
+
+        rec = RecordingExecutor()
+        resumed = run_sweep(sweep2, executor=rec, cache=cache, resume=True)
+        assert len(rec.ran) == 1
+        assert json.dumps(full, sort_keys=True) == json.dumps(resumed, sort_keys=True)
+
+    def test_resume_without_cache_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(Sweep("t"), resume=True)
+
+    def test_cache_files_carry_spec(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        run_sweep(sweep, cache=cache)
+        entries = list((tmp_path / "fig4").glob("*.json"))
+        assert len(entries) == len(sweep.trials)
+        entry = json.loads(entries[0].read_text())
+        assert set(entry) == {"key", "spec", "result"}
+        assert entry["spec"]["fn"].startswith("repro.experiments.scenarios.")
+
+
+class TestTelemetryMerge:
+    def test_registry_merge_preserves_counter_totals(self):
+        parent = obs.Telemetry()
+        worker = obs.Telemetry()
+        parent.metrics.counter("a").inc(2)
+        worker.metrics.counter("a").inc(3)
+        worker.metrics.counter("b", system="vitis").inc(1)
+        worker.metrics.histogram("h").observe(5.0)
+        worker.metrics.gauge("g").set(7.0)
+
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.metrics.counter("a").value == 5
+        assert parent.metrics.counter("b", system="vitis").value == 1
+        assert parent.metrics.histogram("h").count == 1
+        assert parent.metrics.gauge("g").value == 7.0
+
+    def test_phase_merge_nests_under_open_phase(self):
+        parent = obs.Telemetry()
+        worker = obs.Telemetry()
+        with worker.phase("converge"):
+            pass
+        with parent.phases.phase("fig4"):
+            parent.merge_snapshot(worker.snapshot())
+        assert parent.phases.calls("fig4/converge") == 1
+
+    def test_parallel_run_counters_match_serial(self):
+        ser_tel = obs.Telemetry()
+        with obs.scope(ser_tel):
+            scenarios.fig4_friends_vs_sw(seed=1, **FIG4_KW)
+
+        par_tel = obs.Telemetry()
+        with obs.scope(par_tel):
+            scenarios.fig4_friends_vs_sw(
+                seed=1, executor=ParallelExecutor(2), **FIG4_KW
+            )
+
+        ser_counters = ser_tel.metrics.to_dict()["counters"]
+        par_counters = par_tel.metrics.to_dict()["counters"]
+        assert ser_counters == par_counters
+        assert ser_counters["engine_cycles_total"] > 0
+
+    def test_parallel_run_has_phase_tree(self):
+        tel = obs.Telemetry()
+        with obs.scope(tel), tel.phase("fig4"):
+            scenarios.fig4_friends_vs_sw(
+                seed=1, executor=ParallelExecutor(2), **FIG4_KW
+            )
+        assert tel.phases.calls("fig4/converge") > 0
+        assert tel.phases.calls("fig4/measure") > 0
+
+    def test_trials_total_counters(self, tmp_path):
+        tel = obs.Telemetry()
+        cache = ResultCache(tmp_path)
+        with obs.scope(tel):
+            run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW), cache=cache)
+            run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                      cache=cache, resume=True)
+        n = len(scenarios.fig4_spec(seed=1, **FIG4_KW).trials)
+        assert tel.metrics.counter("trials_total", sweep="fig4").value == 2 * n
+        assert tel.metrics.counter("trials_cached_total", sweep="fig4").value == n

@@ -84,6 +84,65 @@ class TestEngineBasics:
         assert fired == []
 
 
+class TestPendingCounter:
+    """``Engine.pending`` is maintained incrementally — these pin the
+    transitions the counter must survive."""
+
+    def test_pending_tracks_schedule_and_fire(self):
+        e = Engine()
+        for i in range(4):
+            e.schedule(float(i + 1), lambda: None)
+        assert e.pending == 4
+        e.run(until=2.0)
+        assert e.pending == 2
+        e.run()
+        assert e.pending == 0
+
+    def test_uncancel_restores_pending(self):
+        e = Engine()
+        h = e.schedule(1.0, lambda: None)
+        h.cancelled = True
+        assert e.pending == 0
+        h.cancelled = False
+        assert e.pending == 1
+        e.run()
+        assert e.processed == 1
+
+    def test_repeated_cancel_is_idempotent(self):
+        e = Engine()
+        h = e.schedule(1.0, lambda: None)
+        e.schedule(2.0, lambda: None)
+        h.cancelled = True
+        h.cancelled = True
+        assert e.pending == 1
+
+    def test_cancel_after_fire_is_inert(self):
+        e = Engine()
+        h = e.schedule(1.0, lambda: None)
+        e.schedule(2.0, lambda: None)
+        e.run(until=1.0)
+        h.cancelled = True  # already fired; must not corrupt the count
+        assert e.pending == 1
+
+    def test_cancelled_tombstone_pop_keeps_count(self):
+        e = Engine()
+        h = e.schedule(1.0, lambda: None)
+        e.schedule(2.0, lambda: None)
+        h.cancelled = True
+        e.run()  # pops the tombstone and the live event
+        assert e.pending == 0
+        h.cancelled = False  # detached handle: no effect on the engine
+        assert e.pending == 0
+
+    def test_clear_resets_counter(self):
+        e = Engine()
+        handles = [e.schedule(1.0, lambda: None) for _ in range(3)]
+        e.clear()
+        assert e.pending == 0
+        handles[0].cancelled = True  # detached: must stay at zero
+        assert e.pending == 0
+
+
 class TestRunUntil:
     def test_until_is_inclusive(self):
         e = Engine()
