@@ -77,6 +77,14 @@ class RvrProtocol(VitisProtocol):
             ).inc()
         lr = self.lookup(publisher, self.topic_id(topic))
         if lr.success and len(lr.path) > 1:
+            cap = self.capacity
+            if cap is not None and cap.backpressured(lr.path[1], self.engine.now):
+                # The rendezvous-bound first hop is saturated: defer the
+                # injection to a later publish batch instead of piling
+                # onto the hotspot — this is where RVR's dependence on a
+                # single tree root shows up under load.
+                self.backpressure_deferred += 1
+                return set(), []
             return set(), lr.path
         return set(), []
 

@@ -38,6 +38,14 @@ Fault injection (see ``docs/robustness.md``) — ``fault_sweep`` only:
 - ``--partition CYCLES`` (repeatable) — partition durations to sweep;
 - ``--fault-seed N`` — replayable fault randomness, independent of
   ``--seed``.
+
+Overload (see ``docs/robustness.md``) — ``overload_sweep`` only:
+
+- ``--pub-rate N`` (repeatable) — publication rates (events/cycle) to
+  sweep;
+- ``--queue-capacity N`` (repeatable) — per-node inbox depths to sweep
+  (0 = unbounded: the capacity layer is not attached at all);
+- ``--shed-policy NAME`` — drop_newest / drop_lowest / red.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ from repro.experiments.executor import (
     run_sweep,
 )
 from repro.experiments.scenarios import SCENARIOS
+from repro.sim.capacity import SHED_POLICIES as _SHED_POLICIES
 
 __all__ = ["main"]
 
@@ -120,12 +129,33 @@ def main(argv: List[str] | None = None) -> int:
         help="fault_sweep only: seed for the injected faults (defaults to "
              "--seed; same value replays the exact same faults)",
     )
+    parser.add_argument(
+        "--pub-rate", action="append", type=int, metavar="N", dest="pub_rates",
+        help="overload_sweep only: publication rate in events/cycle to "
+             "sweep (repeatable)",
+    )
+    parser.add_argument(
+        "--queue-capacity", action="append", type=int, metavar="N",
+        dest="capacities",
+        help="overload_sweep only: per-node inbox depth to sweep "
+             "(repeatable; 0 = unbounded / capacity layer off)",
+    )
+    parser.add_argument(
+        "--shed-policy", metavar="NAME", dest="shed_policy",
+        choices=_SHED_POLICIES,
+        help="overload_sweep only: shedding policy "
+             f"({', '.join(_SHED_POLICIES)})",
+    )
     args = parser.parse_args(argv)
 
     fault_flags = args.loss_rates or args.partitions or args.fault_seed is not None
     if fault_flags and args.command != "fault_sweep":
         parser.error("--loss-rate/--partition/--fault-seed only apply to "
                      "the fault_sweep command")
+    overload_flags = args.pub_rates or args.capacities or args.shed_policy
+    if overload_flags and args.command != "overload_sweep":
+        parser.error("--pub-rate/--queue-capacity/--shed-policy only apply "
+                     "to the overload_sweep command")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.resume and not args.cache_dir:
@@ -166,6 +196,13 @@ def main(argv: List[str] | None = None) -> int:
             overrides["partition_cycles"] = tuple(args.partitions)
         if args.fault_seed is not None:
             overrides["fault_seed"] = args.fault_seed
+    elif args.command == "overload_sweep":
+        if args.pub_rates:
+            overrides["pub_rates"] = tuple(args.pub_rates)
+        if args.capacities:
+            overrides["capacities"] = tuple(args.capacities)
+        if args.shed_policy:
+            overrides["policy"] = args.shed_policy
 
     sweep = scenario.sweep(seed=args.seed, scale=args.scale, **overrides)
     executor = ParallelExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()

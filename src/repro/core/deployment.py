@@ -183,8 +183,16 @@ class DeployedVitisNode(VitisNode):
         # Alg. 6/7 is request/response: the neighbor's reply is what
         # resets its age (a one-way routing-table edge would otherwise
         # never hear back from a neighbor that does not link to us).
+        # A backpressured neighbor is skipped this period (re-batched
+        # next tick) rather than stuffed — the entry keeps aging, so a
+        # neighbor saturated for staleness_threshold periods is evicted
+        # like a silent one.
         payload = self._profile_payload(is_reply=False)
+        cap = net.capacity
         for entry in self.rt:
+            if cap is not None and cap.backpressured(entry.address, now):
+                self.system.backpressure_deferred += 1
+                continue
             net.send(ProfileMessage(src=self.address, dst=entry.address, profile=payload))
 
         # --- relay maintenance ------------------------------------------
@@ -248,6 +256,13 @@ class DeployedVitisNode(VitisNode):
             if nxt is None:
                 return  # this node is the rendezvous of its own topic
         self.relay.set_parent(topic, nxt)
+        cap = self.system.network.capacity
+        if cap is not None and cap.backpressured(nxt, self.system.engine.now):
+            # Defer the refresh to the next period: the parent pointer is
+            # already set and the stamp above keeps our own entry alive,
+            # so nothing is lost by not pushing into a saturated inbox.
+            self.system.backpressure_deferred += 1
+            return
         self.system.network.send(
             RelayInstall(
                 src=self.address, dst=nxt, topic=topic,
@@ -391,6 +406,13 @@ class DeployedVitis:
         self.telemetry = telemetry if telemetry is not None else obs.current()
         self.engine = Engine()
         self.network = Network(self.engine, latency)
+        self.network.telemetry = self.telemetry
+        #: Optional :class:`repro.sim.capacity.CapacityModel` — install
+        #: via :meth:`attach_capacity` (zero-cost-off when None).
+        self.capacity = None
+        #: Messages withheld on backpressure signals (profile heartbeats
+        #: and relay-install refreshes deferred to a later period).
+        self.backpressure_deferred = 0
         subs = _normalize_subscriptions(subscriptions)
         max_topic = max((t for s in subs.values() for t in s), default=-1)
         if rates is not None:
@@ -413,6 +435,18 @@ class DeployedVitis:
         if auto_start:
             for address in sorted(self.nodes):
                 self.join(address)
+
+    def attach_capacity(self, model) -> None:
+        """Install a capacity model on the deployed transport (same
+        contract as ``OverlayProtocolBase.attach_capacity``): every
+        message then passes the destination inbox's admission test inside
+        ``Network.send``, and ticking nodes defer profile heartbeats and
+        relay-install refreshes toward backpressured neighbors.  Pass
+        ``None`` to detach."""
+        self.capacity = model
+        self.network.capacity = model
+        if model is not None:
+            model.bind(self.network, self.telemetry)
 
     # ------------------------------------------------------------------
     # Population (same surface as OverlayProtocolBase)

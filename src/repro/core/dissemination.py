@@ -125,6 +125,9 @@ def disseminate(
     profile_of = protocol.profile_of
     link_cost = getattr(protocol, "link_cost", None)
     transmit = _make_transmit(protocol, rec)
+    cap = getattr(protocol, "capacity", None)
+    now = protocol.engine.now
+    net = protocol.network
     seen: Set[int] = {publisher}
     # Queue entries: (address, hop_at_which_it_received, sender)
     queue: deque = deque()
@@ -145,12 +148,28 @@ def disseminate(
             if count_pulls:
                 # Pull round-trip along the same edge: the request is
                 # handled by the notifier, the reply by the receiver.
-                rec.pull_requests += 1
-                rec.pull_replies += 1
-                (rec.interested_msgs if interest_of(sender) else rec.relay_msgs)[sender] += 1
-                (rec.interested_msgs if interested else rec.relay_msgs)[v] += 1
-                if link_cost is not None:
-                    rec.physical_cost += 2.0 * link_cost(sender, v)
+                # Under a capacity model the round-trip is gated as one
+                # unit: a backpressured notifier defers the pull to a
+                # later batch, a shed request/reply cancels it.
+                if cap is not None and cap.backpressured(sender, now):
+                    rec.deferred += 1
+                else:
+                    pull_ok = True
+                    if cap is not None:
+                        pull_ok = cap.offer(v, sender, "pull", now)
+                        net.account_logical(v, sender, "pull", pull_ok)
+                        if pull_ok:
+                            pull_ok = cap.offer(sender, v, "pull", now)
+                            net.account_logical(sender, v, "pull", pull_ok)
+                        if not pull_ok:
+                            rec.shed += 1
+                    if pull_ok:
+                        rec.pull_requests += 1
+                        rec.pull_replies += 1
+                        (rec.interested_msgs if interest_of(sender) else rec.relay_msgs)[sender] += 1
+                        (rec.interested_msgs if interested else rec.relay_msgs)[v] += 1
+                        if link_cost is not None:
+                            rec.physical_cost += 2.0 * link_cost(sender, v)
             if interested and v in rec.subscribers:
                 rec.delivered_hops[v] = hop
             queue.append((v, hop, sender))
@@ -184,29 +203,56 @@ def disseminate(
 def _make_transmit(protocol: "VitisProtocol", rec: DisseminationRecord):
     """The per-edge transmission gate of the fast path, or None.
 
-    None on a perfect transport (zero-cost-off: the BFS takes the exact
-    pre-fault branches and consumes no RNG).  With a fault model attached,
-    each notify edge is one logical transmission the model may eat; a
-    healing policy grants ``delivery_retries`` resends per edge.  Faults
-    and retries are accumulated on the record (the injection path is *not*
-    gated here — its hops were already fault-checked by the lookup that
-    produced it).
+    None on a perfect, unbounded transport (zero-cost-off: the BFS takes
+    the exact pre-fault branches and consumes no RNG).  With a fault
+    model attached, each notify edge is one logical transmission the
+    model may eat; a healing policy grants ``delivery_retries`` resends
+    per edge.  With a capacity model attached, each surviving
+    transmission must also be admitted by the receiver's bounded inbox
+    (a refusal is a shed the sender does not resend), and backpressure
+    couples the two: a sender seeing the receiver's inbox past its
+    threshold withholds the fault-retry budget on that edge — deferring
+    to the next batch instead of blindly resending into a saturated
+    queue.  Faults, retries, sheds and deferrals accumulate on the
+    record (the injection path is *not* gated here — its hops were
+    already checked by the lookup that produced it).
     """
     fm = getattr(protocol, "fault_model", None)
-    if fm is None:
+    cap = getattr(protocol, "capacity", None)
+    if fm is None and cap is None:
         return None
-    from repro.faults.healing import send_with_retries
+    send_with_retries = None
+    if fm is not None:
+        from repro.faults.healing import send_with_retries
 
     healing = getattr(protocol, "healing", None)
     tries = 1 + (healing.delivery_retries if healing is not None else 0)
     now = protocol.engine.now
+    net = protocol.network
 
     def transmit(u: int, v: int) -> bool:
-        ok, drops = send_with_retries(fm, u, v, "notify", now, tries)
-        if drops:
-            rec.faults += drops
-            rec.retries += min(drops, tries - 1)
-        return ok
+        if fm is not None:
+            budget = tries
+            bp = cap is not None and budget > 1 and cap.backpressured(v, now)
+            if bp:
+                budget = 1
+            ok, drops = send_with_retries(fm, u, v, "notify", now, budget)
+            if drops:
+                rec.faults += drops
+                rec.retries += min(drops, budget - 1)
+                if bp and not ok:
+                    # The withheld retries might have saved this edge;
+                    # the sender chose to re-batch rather than pile on.
+                    rec.deferred += 1
+            if not ok:
+                return False
+        if cap is not None:
+            admitted = cap.offer(u, v, "notify", now)
+            net.account_logical(u, v, "notify", admitted)
+            if not admitted:
+                rec.shed += 1
+                return False
+        return True
 
     return transmit
 

@@ -95,6 +95,10 @@ class OverlayProtocolBase:
         self.telemetry = telemetry if telemetry is not None else obs.current()
         self.engine = Engine()
         self.network = Network(self.engine)
+        # Wire the transport's telemetry at construction so drop/fault
+        # events flow whenever tracing is on (the ambient default is the
+        # no-op backend, so this costs nothing uninstrumented).
+        self.network.telemetry = self.telemetry
         self.driver = CycleDriver(
             self.engine, self._cycle_step, config.gossip_period, telemetry=self.telemetry
         )
@@ -128,6 +132,13 @@ class OverlayProtocolBase:
         self.fault_retries = 0
         #: Relay-tree repairs performed so far (topics re-installed).
         self.fault_repairs = 0
+        #: Optional :class:`repro.sim.capacity.CapacityModel` — install
+        #: via :meth:`attach_capacity`.  None everywhere = zero-cost-off:
+        #: no capacity hook runs and no RNG is consumed.
+        self.capacity = None
+        #: Transmissions deferred on backpressure signals so far (plain
+        #: int, like ``fault_retries``).
+        self.backpressure_deferred = 0
 
         self._topic_ids: Dict[int, int] = {}
         self.sub_index: Dict[int, Set[int]] = defaultdict(set)
@@ -259,7 +270,7 @@ class OverlayProtocolBase:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    # Fault injection (see docs/robustness.md)
+    # Fault injection and capacity (see docs/robustness.md)
     # ------------------------------------------------------------------
     def attach_faults(self, model, healing=None) -> None:
         """Install a fault model (and optional healing policy).
@@ -272,21 +283,41 @@ class OverlayProtocolBase:
         self.fault_model = model
         self.healing = healing if model is not None else None
         self.network.fault_model = model
-        self.network.telemetry = self.telemetry if model is not None else None
+
+    def attach_capacity(self, model) -> None:
+        """Install a capacity model (bounded per-node inboxes; see
+        docs/robustness.md, "Overload and backpressure").
+
+        The model is consulted by the network transport and, on the fast
+        path, by dissemination edges, greedy lookup hops and heartbeats;
+        senders additionally poll ``model.backpressured`` and defer
+        traffic toward saturated inboxes instead of blindly resending.
+        Pass ``None`` to detach and return to the infinitely elastic
+        transport (zero-cost-off, like :meth:`attach_faults`).
+        """
+        self.capacity = model
+        self.network.capacity = model
+        if model is not None:
+            model.bind(self.network, self.telemetry)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def lookup(self, start: int, target_id: int) -> LookupResult:
+    def lookup(self, start: int, target_id: int, kind: str = "lookup") -> LookupResult:
         """Greedy lookup from ``start`` toward ``target_id`` over the
         current routing tables.
 
         With an attached fault model, each next hop is one transmission
         the model may eat; a healing policy grants bounded retries that
-        route around the links seen failing (``_lookup_with_faults``).
+        route around the links seen failing.  With an attached capacity
+        model, each hop must also be admitted by the next node's bounded
+        inbox (both gates live in ``_lookup_gated``).  ``kind`` is the
+        message kind the hops are charged as — relay installation passes
+        ``"relay_install"`` so its lookups ride the control-plane
+        priority class.
         """
-        if self.fault_model is not None:
-            return self._lookup_with_faults(start, target_id)
+        if self.fault_model is not None or self.capacity is not None:
+            return self._lookup_gated(start, target_id, kind)
         node = self.nodes[start]
         result = greedy_route(
             self.space,
@@ -312,7 +343,9 @@ class OverlayProtocolBase:
             )
         return result
 
-    def _lookup_with_faults(self, start: int, target_id: int) -> LookupResult:
+    def _lookup_gated(
+        self, start: int, target_id: int, kind: str = "lookup"
+    ) -> LookupResult:
         """Greedy lookup with timeout-and-retry route-around.
 
         Each attempt walks with a ``link_ok`` gate: a hop the fault model
@@ -323,12 +356,19 @@ class OverlayProtocolBase:
         attempts is bookkeeping-only here — within one cycle-synchronous
         publish all attempts happen at one simulated instant, mirroring an
         RPC timeout far shorter than the gossip period.
+
+        With a capacity model attached, each surviving hop must also be
+        admitted by the next node's bounded inbox; a refusal is a shed
+        the walk routes around exactly like a fault (the lookup probe
+        timed out because the receiver's queue was full).
         """
         fm = self.fault_model
+        cap = self.capacity
         healing = self.healing
         attempts = healing.lookup_attempts if healing is not None else 1
         node = self.nodes[start]
         now = self.engine.now
+        net = self.network
         neighbors_of = lambda a: self.nodes[a].rt.links()
         blocked: Set[tuple] = set()
         faults = 0
@@ -337,10 +377,16 @@ class OverlayProtocolBase:
             nonlocal faults
             if (u, v) in blocked:
                 return False
-            if fm.drop(u, v, "lookup", now):
+            if fm is not None and fm.drop(u, v, kind, now):
                 blocked.add((u, v))
                 faults += 1
                 return False
+            if cap is not None:
+                admitted = cap.offer(u, v, kind, now)
+                net.account_logical(u, v, kind, admitted)
+                if not admitted:
+                    blocked.add((u, v))
+                    return False
             return True
 
         result = None
@@ -405,6 +451,8 @@ class OverlayProtocolBase:
         rec = self._disseminate(topic, publisher, self._event_counter)
         if rec.retries:
             self.fault_retries += rec.retries
+        if rec.deferred:
+            self.backpressure_deferred += rec.deferred
         tel = self.telemetry
         if tel.enabled:
             m = tel.metrics
@@ -545,12 +593,21 @@ class VitisProtocol(OverlayProtocolBase):
         silent.  A partitioned neighbor therefore gets evicted within
         ``staleness_threshold`` cycles, exactly like a dead one; an i.i.d.
         loss model merely delays the age reset now and then.
+
+        With a capacity model attached, each heartbeat is one control
+        message charged to the *neighbor's* bounded inbox (hubs pay for
+        their in-degree); one the inbox sheds is a heartbeat that never
+        arrived, so the entry ages.  The fault gate models the reply
+        being lost (``drop(b, src)``), the capacity gate the request
+        landing (``offer(src, b)``).
         """
         fm = self.fault_model
-        if fm is None:
+        cap = self.capacity
+        if fm is None and cap is None:
             return sum(len(node.heartbeat_step(self.is_alive)) for node in live)
         now = self.engine.now
         is_alive = self.is_alive
+        net = self.network
         evicted = 0
         hb_faults = 0
         for node in live:
@@ -560,9 +617,14 @@ class VitisProtocol(OverlayProtocolBase):
                 nonlocal hb_faults
                 if not is_alive(b):
                     return False
-                if fm.drop(b, src, "heartbeat", now):
+                if fm is not None and fm.drop(b, src, "heartbeat", now):
                     hb_faults += 1
                     return False
+                if cap is not None:
+                    admitted = cap.offer(src, b, "heartbeat", now)
+                    net.account_logical(src, b, "heartbeat", admitted)
+                    if not admitted:
+                        return False
                 return True
 
             evicted += len(node.heartbeat_step(hb_ok))
@@ -682,7 +744,7 @@ class VitisProtocol(OverlayProtocolBase):
         for topic in topics:
             tid = self.topic_id(topic)
             for gw in self.gateways_of(topic):
-                lr = self.lookup(gw, tid)
+                lr = self.lookup(gw, tid, kind="relay_install")
                 install_path(topic, lr, tables, self.relay_stats)
         self.topology_version += 1
         if tel.enabled:
@@ -779,7 +841,7 @@ class VitisProtocol(OverlayProtocolBase):
             self.relay_stats.rendezvous.pop(topic, None)
             tid = self.topic_id(topic)
             for gw in self.gateways_of(topic):
-                lr = self.lookup(gw, tid)
+                lr = self.lookup(gw, tid, kind="relay_install")
                 install_path(topic, lr, tables, self.relay_stats)
         self.topology_version += 1
 

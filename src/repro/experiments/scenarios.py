@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     build_vitis,
     measure,
 )
+from repro.experiments.overload import overload_sweep, overload_sweep_spec
 from repro.experiments.spec import Scenario, Sweep, flat_reduce, rows_reduce
 from repro.sim.metrics import MetricsCollector
 from repro.workloads.publication import power_law_rates
@@ -66,6 +67,7 @@ __all__ = [
     "fig11_opt_degree_distribution",
     "fig12_churn",
     "fault_sweep",
+    "overload_sweep",
     "ablation_gateway_depth",
     "ablation_utility",
     "ablation_sampler",
@@ -1228,6 +1230,8 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("management_cost", management_cost_spec,
                  {"n_users": 4000, "sample_size": 400}),
         Scenario("fault_sweep", fault_sweep_spec,
+                 {"n_nodes": 200, "n_topics": 400}, adjust=_fault_sweep_adjust),
+        Scenario("overload_sweep", overload_sweep_spec,
                  {"n_nodes": 200, "n_topics": 400}, adjust=_fault_sweep_adjust),
     )
 }

@@ -9,7 +9,11 @@ on top of:
 - :mod:`repro.sim.network` — the node registry and message transport with
   pluggable latency models and per-message accounting.
 - :mod:`repro.sim.node` — base node lifecycle (alive / stopped, address).
-- :mod:`repro.sim.messages` — message dataclasses used by the transport.
+- :mod:`repro.sim.messages` — message dataclasses used by the transport,
+  with the priority taxonomy and audited wire sizes the capacity layer
+  consumes.
+- :mod:`repro.sim.capacity` — bounded per-node inboxes: service rates,
+  queue depths, priority-aware shedding, and backpressure signals.
 - :mod:`repro.sim.churn` — churn schedules (joins / leaves / flash crowds)
   and trace replay.
 - :mod:`repro.sim.metrics` — collectors for the three metrics of the paper:
@@ -17,8 +21,9 @@ on top of:
 - :mod:`repro.sim.rng` — deterministic seed-tree random number utilities.
 """
 
+from repro.sim.capacity import CapacityModel, NodeCapacity
 from repro.sim.engine import CycleDriver, Engine
-from repro.sim.messages import Message
+from repro.sim.messages import Message, priority_of
 from repro.sim.metrics import DisseminationRecord, MetricsCollector
 from repro.sim.network import ConstantLatency, Network, UniformLatency
 from repro.sim.node import BaseNode
@@ -27,6 +32,7 @@ from repro.sim.churn import ChurnEvent, ChurnSchedule
 
 __all__ = [
     "BaseNode",
+    "CapacityModel",
     "ChurnEvent",
     "ChurnSchedule",
     "ConstantLatency",
@@ -36,6 +42,8 @@ __all__ = [
     "Message",
     "MetricsCollector",
     "Network",
+    "NodeCapacity",
     "SeedTree",
     "UniformLatency",
+    "priority_of",
 ]

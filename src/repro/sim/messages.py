@@ -8,12 +8,23 @@ examples — send instances of these classes through
 Every message carries an abstract ``size`` in bytes so that byte-level
 traffic accounting is possible in addition to message counts; the paper's
 traffic-overhead metric is message-based, so size defaults to 1 unit.
+``size_bytes`` is the audited wire-size estimate (fixed header plus the
+kind's actual payload fields) used by byte-bounded inbox capacities.
+
+Priorities
+----------
+Every message kind maps to one of four priority classes, used by the
+capacity layer's shedding policies (:mod:`repro.sim.capacity`): overlay
+maintenance must survive overload (losing it collapses the topology and
+with it *future* delivery), so control outranks lookups, which outrank
+notifications, which outrank payload pulls — the exact inverse of byte
+volume, which is what makes graceful degradation possible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 __all__ = [
     "Message",
@@ -27,7 +38,86 @@ __all__ = [
     "RtExchangeRequest",
     "RtExchangeReply",
     "RelayInstall",
+    "PRIO_PULL",
+    "PRIO_NOTIFY",
+    "PRIO_LOOKUP",
+    "PRIO_CONTROL",
+    "KIND_PRIORITY",
+    "priority_of",
 ]
+
+# ----------------------------------------------------------------------
+# Priority taxonomy (lowest sheds first)
+# ----------------------------------------------------------------------
+PRIO_PULL = 0  #: payload pulls — bulky, re-requestable, first to shed
+PRIO_NOTIFY = 1  #: event notifications — the data plane
+PRIO_LOOKUP = 2  #: greedy-routing lookups — needed to reach rendezvous
+PRIO_CONTROL = 3  #: ring/ps/rt maintenance and relay installs — never shed first
+
+#: Message kind → priority class.  Keys cover both the message classes of
+#: the deployment mode (class names, see :attr:`Message.kind`) and the
+#: string tags the fast cycle-driven path charges without constructing
+#: message objects.
+KIND_PRIORITY: Dict[str, int] = {
+    # Payload pulls
+    "PullRequest": PRIO_PULL,
+    "PullReply": PRIO_PULL,
+    "pull": PRIO_PULL,
+    # Data plane
+    "Notification": PRIO_NOTIFY,
+    "notify": PRIO_NOTIFY,
+    # Lookups
+    "LookupMessage": PRIO_LOOKUP,
+    "lookup": PRIO_LOOKUP,
+    # Control plane
+    "ProfileMessage": PRIO_CONTROL,
+    "PsExchangeRequest": PRIO_CONTROL,
+    "PsExchangeReply": PRIO_CONTROL,
+    "RtExchangeRequest": PRIO_CONTROL,
+    "RtExchangeReply": PRIO_CONTROL,
+    "RelayInstall": PRIO_CONTROL,
+    "heartbeat": PRIO_CONTROL,
+    "relay_install": PRIO_CONTROL,
+}
+
+
+def priority_of(kind: str) -> int:
+    """The priority class of a message kind (unknown kinds are data)."""
+    return KIND_PRIORITY.get(kind, PRIO_NOTIFY)
+
+
+#: Fixed per-message overhead: src + dst addresses and a kind tag, 8 bytes
+#: each — the UDP-datagram framing a real deployment would pay.
+_HEADER_BYTES = 24
+#: Encoded width of a scalar (int/float) payload field.
+_WORD = 8
+#: Nominal event-body size when a :class:`PullReply` carries no explicit
+#: payload — pulls exist precisely to move the bulky body, so a reply must
+#: never count as small.
+_NOMINAL_EVENT_BYTES = 1024
+
+
+def _encoded_size(value: Any) -> int:
+    """Deterministic wire-size estimate of one payload value.
+
+    Scalars take one word, strings/bytes their length, containers the sum
+    of their elements (dicts: keys and values).  This is an accounting
+    model, not a codec — it only needs to rank message kinds realistically
+    so byte-based queue bounds are meaningful.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return _WORD
+    if isinstance(value, (str, bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_encoded_size(v) for v in value)
+    if isinstance(value, dict):
+        return sum(_encoded_size(k) + _encoded_size(v) for k, v in value.items())
+    return _WORD
 
 
 @dataclass
@@ -51,6 +141,23 @@ class Message:
         """Short name used by traffic accounting."""
         return type(self).__name__
 
+    @property
+    def priority(self) -> int:
+        """Priority class (see module docstring; unknown kinds are data)."""
+        return KIND_PRIORITY.get(self.kind, PRIO_NOTIFY)
+
+    @property
+    def size_bytes(self) -> int:
+        """Audited wire size: header plus the kind's payload fields.
+
+        ``size`` stays the abstract unit the paper's message-count
+        overhead metric uses; byte-bounded queue capacities use this.
+        """
+        return _HEADER_BYTES + self._payload_bytes()
+
+    def _payload_bytes(self) -> int:
+        return 0
+
 
 @dataclass
 class Notification(Message):
@@ -64,12 +171,18 @@ class Notification(Message):
     hops: int = 0
     publisher: int = -1
 
+    def _payload_bytes(self) -> int:
+        return 4 * _WORD  # topic, event_id, hops, publisher
+
 
 @dataclass
 class PullRequest(Message):
     """Request to fetch the payload of ``event_id`` from the notifier."""
 
     event_id: int = -1
+
+    def _payload_bytes(self) -> int:
+        return _WORD
 
 
 @dataclass
@@ -79,12 +192,19 @@ class PullReply(Message):
     event_id: int = -1
     payload: Any = None
 
+    def _payload_bytes(self) -> int:
+        body = _NOMINAL_EVENT_BYTES if self.payload is None else _encoded_size(self.payload)
+        return _WORD + body
+
 
 @dataclass
 class ProfileMessage(Message):
     """Periodic profile/heartbeat exchange (paper Alg. 6/7)."""
 
     profile: Any = None
+
+    def _payload_bytes(self) -> int:
+        return _encoded_size(self.profile)
 
 
 @dataclass
@@ -95,6 +215,9 @@ class LookupMessage(Message):
     origin: int = -1
     hops: int = 0
     trace: Optional[list] = field(default=None)
+
+    def _payload_bytes(self) -> int:
+        return 3 * _WORD + _encoded_size(self.trace)
 
 
 # ----------------------------------------------------------------------
@@ -107,12 +230,18 @@ class PsExchangeRequest(Message):
 
     view: list = field(default_factory=list)
 
+    def _payload_bytes(self) -> int:
+        return _encoded_size(self.view)
+
 
 @dataclass
 class PsExchangeReply(Message):
     """Passive half: the responder's pre-merge view snapshot."""
 
     view: list = field(default_factory=list)
+
+    def _payload_bytes(self) -> int:
+        return _encoded_size(self.view)
 
 
 @dataclass
@@ -122,12 +251,18 @@ class RtExchangeRequest(Message):
 
     buffer: list = field(default_factory=list)
 
+    def _payload_bytes(self) -> int:
+        return _encoded_size(self.buffer)
+
 
 @dataclass
 class RtExchangeReply(Message):
     """Passive half (paper Alg. 3): the responder's pre-merge buffer."""
 
     buffer: list = field(default_factory=list)
+
+    def _payload_bytes(self) -> int:
+        return _encoded_size(self.buffer)
 
 
 @dataclass
@@ -144,3 +279,6 @@ class RelayInstall(Message):
     target_id: int = -1
     origin: int = -1
     hops: int = 0
+
+    def _payload_bytes(self) -> int:
+        return 4 * _WORD  # topic, target_id, origin, hops

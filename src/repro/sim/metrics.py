@@ -65,6 +65,13 @@ class DisseminationRecord:
     #: Retransmissions spent recovering from those faults (bounded by the
     #: healing policy; a fault with no retry budget left adds no retry).
     retries: int = 0
+    #: Transmissions refused by an attached capacity model's bounded
+    #: inboxes during this event (0 on an elastic transport); shed data
+    #: is not resent — backpressure, not retry, is the reaction.
+    shed: int = 0
+    #: Transmissions the sender withheld on a backpressure signal instead
+    #: of pushing into a saturated inbox (deferred/re-batched, not lost).
+    deferred: int = 0
 
     @property
     def n_subscribers(self) -> int:
@@ -116,6 +123,8 @@ def restrict_record(
         physical_cost=record.physical_cost,
         faults=record.faults,
         retries=record.retries,
+        shed=record.shed,
+        deferred=record.deferred,
     )
 
 
@@ -182,6 +191,15 @@ class MetricsCollector:
             if r.delivered_hops:
                 worst = max(worst, max(r.delivered_hops.values()))
         return worst
+
+    def total_shed(self) -> int:
+        """Dissemination transmissions shed by bounded inboxes, over all
+        events (0 on an elastic transport)."""
+        return sum(r.shed for r in self.records)
+
+    def total_deferred(self) -> int:
+        """Transmissions withheld on backpressure signals, over all events."""
+        return sum(r.deferred for r in self.records)
 
     # ------------------------------------------------------------------
     # Distributions (Fig. 5)

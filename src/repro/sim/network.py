@@ -4,6 +4,20 @@ The :class:`Network` owns all nodes of a simulation, delivers messages with
 a pluggable latency model, and accounts traffic per message kind and per
 node.  Messages to dead or unregistered nodes are dropped (and counted), the
 way UDP datagrams to a vanished peer would be.
+
+Two optional layers can be attached, both off by default and zero-cost
+when off (a single ``is None`` check per message):
+
+- a :class:`repro.faults.FaultModel` drops or delays transmissions on the
+  link (loss, partitions, slow links);
+- a :class:`repro.sim.capacity.CapacityModel` bounds every destination's
+  inbox, shedding arrivals the service rate cannot absorb.
+
+Accounting is per message kind (``sent``/``delivered``/``dropped``/
+``faulted``/``shed`` Counters) *and* per address (``sent_by_addr``/
+``delivered_by_addr``/``shed_by_addr``), and :meth:`Network.hotspots`
+ranks the heaviest inboxes — the single source of truth for
+rendezvous-node hotspot load, whichever execution mode generated it.
 """
 
 from __future__ import annotations
@@ -74,10 +88,18 @@ class Network:
         self.delivered = Counter()  # message kind -> count
         self.dropped = Counter()    # message kind -> count
         self.faulted = Counter()    # message kind -> count (fault-model drops)
+        self.shed = Counter()       # message kind -> count (capacity refusals)
         self.bytes_sent = 0
+        # Per-address tallies (hotspot reads; see hotspots()).
+        self.sent_by_addr = Counter()       # src address -> messages sent
+        self.delivered_by_addr = Counter()  # dst address -> messages delivered
+        self.shed_by_addr = Counter()       # dst address -> messages shed
         #: Optional :class:`repro.faults.FaultModel`; None = perfect transport.
         self.fault_model = None
-        #: Optional telemetry for fault counters/events (None = uninstrumented).
+        #: Optional :class:`repro.sim.capacity.CapacityModel`; None = elastic.
+        self.capacity = None
+        #: Optional telemetry for fault/drop counters and events
+        #: (None = uninstrumented).
         self.telemetry = None
 
     # ------------------------------------------------------------------
@@ -145,9 +167,12 @@ class Network:
         with the default zero-delay model the event still goes through the
         engine queue, preserving causal ordering.  An attached fault model
         may drop the message outright (counted in ``faulted``, never
-        delivered) or inflate its delay.
+        delivered) or inflate its delay; an attached capacity model may
+        then shed it at the destination's bounded inbox (counted in
+        ``shed`` — the link worked, the receiver was full).
         """
         self.sent[msg.kind] += 1
+        self.sent_by_addr[msg.src] += 1
         self.bytes_sent += msg.size
         delay = self.latency.delay(msg.src, msg.dst)
         if self.fault_model is not None:
@@ -155,6 +180,11 @@ class Network:
                 self._record_fault(msg)
                 return
             delay += self.fault_model.extra_delay(msg.src, msg.dst, self.engine.now)
+        if self.capacity is not None and not self.capacity.offer(
+            msg.src, msg.dst, msg.kind, self.engine.now, nbytes=msg.size_bytes
+        ):
+            self._record_shed(msg)
+            return
         self.engine.schedule(delay, lambda m=msg: self._deliver(m))
 
     def send_sync(self, msg: Message) -> bool:
@@ -164,11 +194,17 @@ class Network:
         within a cycle.  Returns True if the message was handled.
         """
         self.sent[msg.kind] += 1
+        self.sent_by_addr[msg.src] += 1
         self.bytes_sent += msg.size
         if self.fault_model is not None and self.fault_model.drop(
             msg.src, msg.dst, msg.kind, self.engine.now
         ):
             self._record_fault(msg)
+            return False
+        if self.capacity is not None and not self.capacity.offer(
+            msg.src, msg.dst, msg.kind, self.engine.now, nbytes=msg.size_bytes
+        ):
+            self._record_shed(msg)
             return False
         return self._deliver(msg)
 
@@ -185,14 +221,69 @@ class Network:
                     kind=msg.kind, src=msg.src, dst=msg.dst,
                 )
 
+    def _record_shed(self, msg: Message) -> None:
+        """A capacity refusal: counted here, telemetry (``shed_total``,
+        ``shed`` events) is emitted by the capacity model itself."""
+        self.shed[msg.kind] += 1
+        self.shed_by_addr[msg.dst] += 1
+
     def _deliver(self, msg: Message) -> bool:
         node = self._nodes.get(msg.dst)
         if node is None or not node.alive:
             self.dropped[msg.kind] += 1
+            tel = self.telemetry
+            if tel is not None and tel.enabled:
+                tel.metrics.counter("drops_total", site="network", kind=msg.kind).inc()
+                if tel.tracing:
+                    tel.event(
+                        "drop", t=self.engine.now, site="network",
+                        kind=msg.kind, src=msg.src, dst=msg.dst,
+                    )
             return False
         self.delivered[msg.kind] += 1
+        self.delivered_by_addr[msg.dst] += 1
         node.on_message(msg)
         return True
+
+    def account_logical(self, src: int, dst: int, kind: str, delivered: bool) -> None:
+        """Fold one fast-path transmission into the per-address tallies.
+
+        The cycle-driven protocols exchange state directly instead of
+        constructing :class:`Message` objects, so when a capacity model
+        gates those paths (dissemination edges, lookup hops, heartbeats),
+        each gated transmission is reported here — keeping
+        :meth:`hotspots` one source of truth across both execution modes.
+        Never called on the ungated path (the zero-cost-off contract).
+        """
+        self.sent_by_addr[src] += 1
+        if delivered:
+            self.delivered_by_addr[dst] += 1
+        else:
+            self.shed[kind] += 1
+            self.shed_by_addr[dst] += 1
+
+    def hotspots(self, n: int = 10) -> List[Dict[str, int]]:
+        """The ``n`` heaviest inboxes, by inbound load (delivered + shed).
+
+        Each entry reports the address, its total inbound load, the
+        delivered/shed split, and its outbound ``sent`` count; ties break
+        by address.  Under rendezvous routing the top entries are the
+        rendezvous nodes — the Fig. 5-style load distribution and the
+        ``overload_sweep`` hotspot columns both read from here.
+        """
+        load = Counter(self.delivered_by_addr)
+        load.update(self.shed_by_addr)
+        top = sorted(load.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return [
+            {
+                "address": addr,
+                "inbound": total,
+                "delivered": self.delivered_by_addr.get(addr, 0),
+                "shed": self.shed_by_addr.get(addr, 0),
+                "sent": self.sent_by_addr.get(addr, 0),
+            }
+            for addr, total in top
+        ]
 
     def reset_traffic(self) -> None:
         """Zero all traffic counters (e.g. after warm-up)."""
@@ -200,4 +291,8 @@ class Network:
         self.delivered.clear()
         self.dropped.clear()
         self.faulted.clear()
+        self.shed.clear()
         self.bytes_sent = 0
+        self.sent_by_addr.clear()
+        self.delivered_by_addr.clear()
+        self.shed_by_addr.clear()

@@ -77,7 +77,10 @@ class TestAttachFaults:
         p.attach_faults(MessageLoss(0.1, random.Random(0)), HealingPolicy())
         p.attach_faults(None)
         assert p.fault_model is None and p.network.fault_model is None
-        assert p.healing is None and p.network.telemetry is None
+        assert p.healing is None
+        # The transport's telemetry is wired at construction (drop events
+        # flow regardless of fault state), not managed by attach/detach.
+        assert p.network.telemetry is p.telemetry
 
 
 class TestLookupHealing:

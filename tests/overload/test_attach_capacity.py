@@ -1,0 +1,122 @@
+"""The capacity layer's attach/detach contract and zero-cost-off parity.
+
+Mirrors tests/faults/test_protocol_healing.py: with no model attached —
+or one attached and then detached — every code path, output, and RNG
+draw must be exactly the pre-capacity build's.
+"""
+
+import pytest
+
+from repro.baselines.rvr import RvrProtocol
+from repro.core.config import VitisConfig
+from repro.core.deployment import DeployedVitis
+from repro.core.protocol import VitisProtocol
+from repro.experiments.runner import measure
+from repro.sim.capacity import CapacityModel, NodeCapacity
+from tests.conftest import small_subscriptions
+
+
+class _PoisonedRng:
+    def random(self):  # pragma: no cover - failure path only
+        raise AssertionError("deterministic capacity policy must not draw")
+
+
+def _small_vitis(seed=5, cycles=40):
+    p = VitisProtocol(
+        small_subscriptions(seed=seed),
+        VitisConfig(rt_size=10, n_sw_links=1),
+        seed=seed,
+        election_every=0,
+        relay_every=0,
+    )
+    p.run_cycles(cycles)
+    p.finalize()
+    return p
+
+
+def _small_rvr(seed=5, cycles=40):
+    p = RvrProtocol(
+        small_subscriptions(seed=seed),
+        VitisConfig(rt_size=10),
+        seed=seed,
+        relay_every=0,
+    )
+    p.run_cycles(cycles)
+    p.finalize()
+    return p
+
+
+def _drive(p, cycles=5, events=30):
+    """A workload that exercises every gated site: heartbeats (cycles),
+    lookups, and dissemination."""
+    p.run_cycles(cycles)
+    col = measure(p, events, seed=1)
+    return col.summary(), dict(p.network.sent), p.fault_retries
+
+
+class TestAttachCapacity:
+    def test_attach_reaches_the_network(self):
+        p = _small_vitis(cycles=5)
+        model = CapacityModel(NodeCapacity())
+        p.attach_capacity(model)
+        assert p.capacity is model and p.network.capacity is model
+        assert model.telemetry is p.telemetry
+
+    def test_detach_restores_the_elastic_transport(self):
+        p = _small_vitis(cycles=5)
+        p.attach_capacity(CapacityModel(NodeCapacity()))
+        p.attach_capacity(None)
+        assert p.capacity is None and p.network.capacity is None
+
+    def test_deployed_attach_detach(self):
+        d = DeployedVitis(
+            small_subscriptions(seed=2), VitisConfig(rt_size=10), seed=2
+        )
+        model = CapacityModel(NodeCapacity())
+        d.attach_capacity(model)
+        assert d.capacity is model and d.network.capacity is model
+        d.attach_capacity(None)
+        assert d.capacity is None and d.network.capacity is None
+
+
+class TestZeroCostOff:
+    @pytest.mark.parametrize("build", [_small_vitis, _small_rvr])
+    def test_attach_then_detach_leaves_no_trace(self, build):
+        baseline = _drive(build())
+        p = build()
+        p.attach_capacity(CapacityModel(NodeCapacity(), rng=_PoisonedRng()))
+        p.attach_capacity(None)
+        assert _drive(p) == baseline
+
+    @pytest.mark.parametrize("build", [_small_vitis, _small_rvr])
+    def test_unlimited_capacity_is_transparent(self, build):
+        """A model that admits everything must not change a single
+        metric, message tally, or (deterministic policies) RNG draw —
+        only the gated sites' accounting differs, and that is additive.
+        """
+        baseline_summary, _, _ = _drive(build())
+        p = build()
+        model = CapacityModel(
+            NodeCapacity(service_rate=10_000, queue_depth=1_000_000,
+                         policy="drop_lowest"),
+            rng=_PoisonedRng(),
+        )
+        p.attach_capacity(model)
+        summary, _, _ = _drive(p)
+        assert summary == baseline_summary
+        assert sum(model.shed.values()) == 0
+        assert model.backpressure_signals == 0
+        assert sum(model.offered.values()) > 0  # the gates did run
+
+    def test_tight_capacity_changes_outcomes(self):
+        """Sanity check that the parity above is meaningful: a starved
+        inbox must actually shed and dent delivery."""
+        p = _small_vitis()
+        model = CapacityModel(
+            NodeCapacity(service_rate=1, queue_depth=2, policy="drop_lowest"),
+            rng=_PoisonedRng(),
+        )
+        p.attach_capacity(model)
+        summary, _, _ = _drive(p)
+        assert sum(model.shed.values()) > 0
+        assert summary["hit_ratio"] < 1.0

@@ -1,6 +1,12 @@
 """Tests for the message dataclasses."""
 
+import pytest
+
 from repro.sim.messages import (
+    PRIO_CONTROL,
+    PRIO_LOOKUP,
+    PRIO_NOTIFY,
+    PRIO_PULL,
     LookupMessage,
     Message,
     Notification,
@@ -12,6 +18,7 @@ from repro.sim.messages import (
     RelayInstall,
     RtExchangeReply,
     RtExchangeRequest,
+    priority_of,
 )
 
 
@@ -77,3 +84,84 @@ class TestRoutingMessages:
         payload = (frozenset({1, 2}), 3, {}, False)
         m = ProfileMessage(src=0, dst=1, profile=payload)
         assert m.profile[0] == frozenset({1, 2})
+
+
+class TestPriorities:
+    def test_class_ordering(self):
+        assert PRIO_PULL < PRIO_NOTIFY < PRIO_LOOKUP < PRIO_CONTROL
+
+    @pytest.mark.parametrize(
+        "msg, prio",
+        [
+            (Notification(src=0, dst=1), PRIO_NOTIFY),
+            (PullRequest(src=0, dst=1), PRIO_PULL),
+            (PullReply(src=0, dst=1), PRIO_PULL),
+            (LookupMessage(src=0, dst=1), PRIO_LOOKUP),
+            (ProfileMessage(src=0, dst=1), PRIO_CONTROL),
+            (PsExchangeRequest(src=0, dst=1), PRIO_CONTROL),
+            (RtExchangeReply(src=0, dst=1), PRIO_CONTROL),
+            (RelayInstall(src=0, dst=1), PRIO_CONTROL),
+        ],
+    )
+    def test_message_priority(self, msg, prio):
+        assert msg.priority == prio
+
+    @pytest.mark.parametrize(
+        "kind, prio",
+        [
+            ("notify", PRIO_NOTIFY),
+            ("pull", PRIO_PULL),
+            ("lookup", PRIO_LOOKUP),
+            ("heartbeat", PRIO_CONTROL),
+            ("relay_install", PRIO_CONTROL),
+        ],
+    )
+    def test_fast_path_kind_priority(self, kind, prio):
+        assert priority_of(kind) == prio
+
+    def test_unknown_kind_defaults_to_data(self):
+        assert priority_of("frobnicate") == PRIO_NOTIFY
+
+
+class TestSizeBytes:
+    """Regression pins: the nominal wire size of every kind.
+
+    These numbers feed the capacity model's optional byte bound; a size
+    change is a protocol-cost change and must be deliberate.
+    """
+
+    @pytest.mark.parametrize(
+        "msg, nbytes",
+        [
+            (Message(src=0, dst=1), 24),            # bare header
+            (Notification(src=0, dst=1), 56),       # header + 4 words
+            (PullRequest(src=0, dst=1), 32),        # header + event id
+            (PullReply(src=0, dst=1), 1056),        # nominal 1 KiB event
+            (ProfileMessage(src=0, dst=1), 24),     # empty profile
+            (LookupMessage(src=0, dst=1), 48),      # header + 3 words
+            (RelayInstall(src=0, dst=1), 56),       # header + 4 words
+            (PsExchangeRequest(src=0, dst=1), 24),  # empty view
+            (RtExchangeReply(src=0, dst=1), 24),    # empty buffer
+        ],
+    )
+    def test_pinned_default_sizes(self, msg, nbytes):
+        assert msg.size_bytes == nbytes
+
+    def test_pull_reply_payload_overrides_the_nominal_size(self):
+        assert PullReply(src=0, dst=1, payload=b"x" * 10).size_bytes == 24 + 8 + 10
+
+    def test_exchange_size_grows_with_the_view(self):
+        empty = PsExchangeRequest(src=0, dst=1)
+        loaded = PsExchangeRequest(src=0, dst=1, view=[(2, 22, 0), (3, 33, 1)])
+        assert loaded.size_bytes > empty.size_bytes
+
+    def test_rt_exchange_size_grows_with_the_buffer(self):
+        empty = RtExchangeRequest(src=0, dst=1)
+        loaded = RtExchangeRequest(src=0, dst=1, buffer=[(2, 22, 0)])
+        assert loaded.size_bytes > empty.size_bytes
+
+    def test_abstract_size_field_is_unchanged(self):
+        # ``size`` is the abstract unit cost used by bytes_sent; the
+        # byte audit must not disturb it.
+        assert Message(src=0, dst=1).size == 1
+        assert Notification(src=0, dst=1).size == 1

@@ -138,6 +138,95 @@ class TestTransport:
         assert e.now == 2.5
 
 
+class TestPerAddressAccounting:
+    def test_sent_delivered_tallies(self):
+        e, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        net.send(Message(src=0, dst=1))
+        net.send(Message(src=0, dst=1))
+        net.send(Message(src=1, dst=0))
+        e.run()
+        assert net.sent_by_addr[0] == 2 and net.sent_by_addr[1] == 1
+        assert net.delivered_by_addr[1] == 2 and net.delivered_by_addr[0] == 1
+
+    def test_capacity_shed_is_tallied_per_destination(self):
+        from repro.sim.capacity import CapacityModel, NodeCapacity
+
+        e, net = make_net()
+        a, b = net.register(Recorder), net.register(Recorder)
+        a.start(), b.start()
+        net.capacity = CapacityModel(
+            NodeCapacity(service_rate=1, queue_depth=1, policy="drop_newest")
+        )
+        net.send(Message(src=0, dst=1))
+        assert net.send_sync(Message(src=0, dst=1)) is False  # inbox full
+        e.run()
+        assert len(b.received) == 1
+        assert net.shed["Message"] == 1
+        assert net.shed_by_addr[1] == 1
+        assert net.sent_by_addr[0] == 2  # sheds still count as sent
+
+    def test_account_logical_mirrors_the_transport_tallies(self):
+        _, net = make_net()
+        net.account_logical(3, 4, "notify", delivered=True)
+        net.account_logical(3, 4, "notify", delivered=False)
+        assert net.sent_by_addr[3] == 2
+        assert net.delivered_by_addr[4] == 1
+        assert net.shed["notify"] == 1 and net.shed_by_addr[4] == 1
+
+    def test_hotspots_ranks_by_inbound_load(self):
+        _, net = make_net()
+        for _ in range(5):
+            net.account_logical(0, 1, "notify", delivered=True)
+        for _ in range(3):
+            net.account_logical(0, 2, "notify", delivered=False)
+        net.account_logical(0, 3, "notify", delivered=True)
+        top = net.hotspots(2)
+        assert [h["address"] for h in top] == [1, 2]
+        assert top[0] == {"address": 1, "inbound": 5, "delivered": 5,
+                          "shed": 0, "sent": 0}
+        assert top[1]["shed"] == 3
+
+    def test_reset_traffic_clears_the_new_tallies(self):
+        _, net = make_net()
+        net.account_logical(0, 1, "notify", delivered=False)
+        net.reset_traffic()
+        assert not net.sent_by_addr and not net.delivered_by_addr
+        assert not net.shed and not net.shed_by_addr
+        assert net.hotspots() == []
+
+
+class TestDropEvent:
+    def test_drop_to_dead_node_emits_counter_and_event(self):
+        import io
+        import json
+
+        from repro import obs
+
+        e, net = make_net()
+        net.register(Recorder).start()
+        net.register(Recorder)  # stays down
+        buf = io.StringIO()
+        tel = obs.Telemetry(trace=buf)
+        net.telemetry = tel
+        net.send(Message(src=0, dst=1))
+        e.run()
+        tel.close()
+        assert net.dropped["Message"] == 1
+        dump = tel.metrics_dump()
+        assert dump["metrics"]["counters"][
+            "drops_total{kind=Message,site=network}"
+        ] == 1.0
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        drops = [ev for ev in events if ev["ev"] == "drop"]
+        assert len(drops) == 1
+        ev = drops[0]
+        assert (ev["site"], ev["kind"], ev["src"], ev["dst"]) == (
+            "network", "Message", 0, 1,
+        )
+
+
 class TestLatencyModels:
     def test_constant_rejects_negative(self):
         with pytest.raises(ValueError):
