@@ -82,8 +82,13 @@ class RvrProtocol(VitisProtocol):
                 # The rendezvous-bound first hop is saturated: defer the
                 # injection to a later publish batch instead of piling
                 # onto the hotspot — this is where RVR's dependence on a
-                # single tree root shows up under load.
+                # single tree root shows up under load.  The hint lets a
+                # traced run attribute the resulting misses to
+                # backpressure rather than "no path".
                 self.backpressure_deferred += 1
+                from repro.obs.spans import CAUSE_BACKPRESSURE
+
+                self._injection_miss_cause = CAUSE_BACKPRESSURE
                 return set(), []
             return set(), lr.path
         return set(), []

@@ -5,6 +5,7 @@
     python -m repro list                 # available experiments
     python -m repro fig4 [--csv out.csv] [--seed N] [--scale X]
     python -m repro fig9
+    python -m repro trace-report TRACE.jsonl [--audit] [--trees N]
     ...
 
 Each figure command builds the corresponding scenario's sweep
@@ -46,6 +47,14 @@ Overload (see ``docs/robustness.md``) — ``overload_sweep`` only:
 - ``--queue-capacity N`` (repeatable) — per-node inbox depths to sweep
   (0 = unbounded: the capacity layer is not attached at all);
 - ``--shed-policy NAME`` — drop_newest / drop_lowest / red.
+
+Trace analysis (see ``docs/observability.md``) — ``trace-report`` only:
+
+- positional ``TRACE.jsonl`` — a ``--trace-out`` file to analyse;
+- ``--audit`` — exit non-zero on unexplained misses, incomplete span
+  trees, or a violated O(log² N + d) delivery-depth envelope;
+- ``--trees N`` — render the first N event span trees as ASCII;
+- ``--hotspots N`` — how many hotspot relay nodes to show (default 10).
 """
 
 from __future__ import annotations
@@ -76,7 +85,14 @@ def main(argv: List[str] | None = None) -> int:
         prog="repro",
         description="Reproduce the Vitis (IPDPS 2011) evaluation figures.",
     )
-    parser.add_argument("command", help="'list', 'fig4'..'fig12', or an ablation name")
+    parser.add_argument(
+        "command",
+        help="'list', 'fig4'..'fig12', an ablation name, or 'trace-report'",
+    )
+    parser.add_argument(
+        "target", nargs="?",
+        help="trace-report only: the JSONL trace file to analyse",
+    )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -146,8 +162,28 @@ def main(argv: List[str] | None = None) -> int:
         help="overload_sweep only: shedding policy "
              f"({', '.join(_SHED_POLICIES)})",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="trace-report only: exit non-zero on unexplained misses, "
+             "incomplete span trees, or a violated O(log² N + d) envelope",
+    )
+    parser.add_argument(
+        "--trees", type=int, default=0, metavar="N",
+        help="trace-report only: render the first N event span trees",
+    )
+    parser.add_argument(
+        "--hotspots", type=int, default=10, metavar="N",
+        help="trace-report only: show the N heaviest relay nodes",
+    )
     args = parser.parse_args(argv)
 
+    report_flags = args.audit or args.trees or args.hotspots != 10
+    if report_flags and args.command != "trace-report":
+        parser.error("--audit/--trees/--hotspots only apply to the "
+                     "trace-report command")
+    if args.target is not None and args.command != "trace-report":
+        parser.error("a positional trace file only applies to the "
+                     "trace-report command")
     fault_flags = args.loss_rates or args.partitions or args.fault_seed is not None
     if fault_flags and args.command != "fault_sweep":
         parser.error("--loss-rate/--partition/--fault-seed only apply to "
@@ -176,6 +212,9 @@ def main(argv: List[str] | None = None) -> int:
         for name in sorted(SCENARIOS):
             print(f"  {name}")
         return 0
+
+    if args.command == "trace-report":
+        return _trace_report(parser, args)
 
     scenario = SCENARIOS.get(args.command)
     if scenario is None:
@@ -216,6 +255,47 @@ def main(argv: List[str] | None = None) -> int:
     if args.csv:
         _write_csv(args.csv, rows)
     _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _trace_report(parser: argparse.ArgumentParser, args) -> int:
+    """``python -m repro trace-report TRACE.jsonl [--audit] [--trees N]``.
+
+    Reconstructs the span trees of a causal trace (a ``--trace-out``
+    file) and prints the delivery audit, miss attribution, per-hop-kind
+    depth table, relay hotspots and the O(log² N + d) envelope check.
+    With ``--audit`` the exit status enforces the audit contract.
+    """
+    if not args.target:
+        parser.error("trace-report needs a trace file: "
+                     "repro trace-report TRACE.jsonl")
+    from repro.obs.report import trace_report
+
+    try:
+        events = obs.read_trace(args.target)
+    except OSError as exc:
+        print(f"cannot read {args.target}: {exc}", file=sys.stderr)
+        return 2
+    text, audit, env = trace_report(
+        events, n_trees=args.trees, n_hotspots=args.hotspots
+    )
+    print(text)
+    if args.audit:
+        failed = []
+        if not audit.ok:
+            failed.append(
+                f"{audit.unexplained_total} unexplained miss(es), "
+                f"{audit.n_incomplete} incomplete tree(s)"
+            )
+        if env is not None and not env.ok:
+            failed.append(
+                f"p99 delivery depth {env.p99_hops:.0f} exceeds the "
+                f"O(log² N + d) bound {env.bound:.1f}"
+            )
+        if failed:
+            print("audit: FAILED — " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("audit: OK", file=sys.stderr)
     return 0
 
 

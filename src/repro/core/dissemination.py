@@ -30,8 +30,22 @@ Two implementations are provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.obs.spans import (
+    CAUSE_DEAD_NODE,
+    CAUSE_FAULTED_LINK,
+    CAUSE_NO_PATH,
+    CAUSE_PARTITION,
+    CAUSE_SHED,
+    CAUSE_UNEXPLAINED,
+    HOP_FLOOD,
+    HOP_LOOKUP,
+    HOP_PUBLISH,
+    HOP_RELAY,
+    HOP_RENDEZVOUS,
+    SpanRecorder,
+)
 from repro.sim.messages import Notification
 from repro.sim.metrics import DisseminationRecord
 
@@ -57,6 +71,29 @@ def forwarding_targets(protocol: "VitisProtocol", address: int, topic: int) -> S
     return targets
 
 
+def _classify_hop(
+    protocol: "VitisProtocol", topic: int, u: int, v: int, publisher: int
+) -> str:
+    """The hop kind of a ``u → v`` notification (tracing only).
+
+    Flood beats tree when both apply (a gateway's tree neighbor can also
+    be cluster-adjacent; the intra-cluster edge is the cheaper
+    explanation); a tree edge leaving the rendezvous is a rendezvous
+    dispatch; anything else is either the publisher's direct injection or
+    generic relay traffic.
+    """
+    node_u = protocol.nodes[u]
+    if node_u.profile.subscribes_to(topic):
+        adj = protocol.cluster_adjacency(topic)
+        if v in adj.get(u, ()):
+            return HOP_FLOOD
+    if v in node_u.relay.tree_neighbors(topic):
+        if u == protocol.relay_stats.rendezvous.get(topic):
+            return HOP_RENDEZVOUS
+        return HOP_RELAY
+    return HOP_PUBLISH if u == publisher else HOP_RELAY
+
+
 def _publisher_targets(
     protocol: "VitisProtocol", publisher: int, topic: int
 ) -> Tuple[Set[int], List[int]]:
@@ -64,8 +101,12 @@ def _publisher_targets(
 
     Returns ``(targets, injection_path)``.  Dispatches to the protocol's
     ``publisher_targets`` hook when it defines one (RVR routes publishers
-    to the rendezvous; Vitis publishers start inside their cluster).
+    to the rendezvous; Vitis publishers start inside their cluster).  A
+    hook that injects nothing may leave a miss-cause hint in the
+    protocol's ``_injection_miss_cause`` (e.g. RVR's backpressure
+    deferral), which the tracing layer reads for attribution.
     """
+    protocol._injection_miss_cause = None
     hook = getattr(protocol, "publisher_targets", None)
     if hook is not None:
         return hook(publisher, topic)
@@ -110,6 +151,14 @@ def disseminate(
     receiver pulls the payload from its notifier — one request handled by
     the notifier, one reply handled by the receiver.  Duplicate
     notifications trigger no pull (the event id is already known).
+
+    Under ``telemetry.tracing`` the whole cascade is additionally
+    recorded as a span tree (:mod:`repro.obs.spans`): one span per first
+    receipt, failure spans for transmissions a fault/capacity model ate,
+    and a ``miss`` event attributing every unreached subscriber to a
+    concrete cause.  All of it is RNG-free and state-free (attribution
+    never calls ``fault_model.drop`` or ``capacity.offer``), preserving
+    the zero-cost-off byte-identity contract.
     """
     live_subs = protocol.subscribers(topic)
     rec = DisseminationRecord(
@@ -118,13 +167,28 @@ def disseminate(
         publisher=publisher,
         subscribers=frozenset(live_subs - {publisher}),
     )
+    tel = protocol.telemetry
+    spans: Optional[SpanRecorder] = None
+    span_of: Dict[int, int] = {}
+    failures: Optional[Dict[Tuple[int, int], str]] = None
+    if tel.tracing:
+        spans = SpanRecorder(tel, tel.next_trace_id(), protocol.engine.now)
+        rec.trace_id = spans.trace_id
+        failures = {}
+        span_of[publisher] = spans.root(
+            HOP_PUBLISH, publisher, topic=topic, event=event_id,
+            publisher=publisher, subs=len(rec.subscribers),
+        )
     if not protocol.is_alive(publisher):
+        if spans is not None:
+            for m in sorted(rec.subscribers):
+                spans.miss(m, CAUSE_DEAD_NODE, dst=publisher)
         return rec
 
     is_alive = protocol.is_alive
     profile_of = protocol.profile_of
     link_cost = getattr(protocol, "link_cost", None)
-    transmit = _make_transmit(protocol, rec)
+    transmit = _make_transmit(protocol, rec, failures)
     cap = getattr(protocol, "capacity", None)
     now = protocol.engine.now
     net = protocol.network
@@ -136,7 +200,7 @@ def disseminate(
         p = profile_of(a)
         return p is not None and p.subscribes_to(topic)
 
-    def receive(v: int, hop: int, sender: int) -> None:
+    def receive(v: int, hop: int, sender: int, hop_kind: Optional[str] = None) -> None:
         """Account one message delivery to v; enqueue v for forwarding on
         first receipt."""
         interested = interest_of(v)
@@ -145,6 +209,14 @@ def disseminate(
             rec.physical_cost += link_cost(sender, v)
         if v not in seen:
             seen.add(v)
+            if spans is not None:
+                kind = hop_kind if hop_kind is not None else _classify_hop(
+                    protocol, topic, sender, v, publisher
+                )
+                sid = spans.hop(span_of.get(sender), kind, sender, v, hop)
+                span_of[v] = sid
+                if interested and v in rec.subscribers:
+                    spans.deliver(sid, v, hop)
             if count_pulls:
                 # Pull round-trip along the same edge: the request is
                 # handled by the notifier, the reply by the receiver.
@@ -175,32 +247,168 @@ def disseminate(
             queue.append((v, hop, sender))
 
     initial_targets, injection_path = _publisher_targets(protocol, publisher, topic)
+    inject_cause = getattr(protocol, "_injection_miss_cause", None)
     if injection_path:
         # Hop-by-hop relay toward the rendezvous; every path node is a
         # receiver and forwards per its own state afterwards.
         prev = publisher
         for hop, v in enumerate(injection_path[1:], start=1):
             if not is_alive(v):
+                if spans is not None:
+                    failures[(prev, v)] = CAUSE_DEAD_NODE
+                    spans.failure(
+                        span_of.get(prev), HOP_LOOKUP, prev, v, hop, CAUSE_DEAD_NODE
+                    )
                 break
-            receive(v, hop, prev)
+            receive(v, hop, prev, hop_kind=HOP_LOOKUP)
             prev = v
     else:
         for v in initial_targets:
-            if is_alive(v) and (transmit is None or transmit(publisher, v)):
-                receive(v, 1, publisher)
+            if not is_alive(v):
+                if spans is not None:
+                    failures[(publisher, v)] = CAUSE_DEAD_NODE
+                    spans.failure(
+                        span_of.get(publisher),
+                        _classify_hop(protocol, topic, publisher, v, publisher),
+                        publisher, v, 1, CAUSE_DEAD_NODE,
+                    )
+                continue
+            if transmit is not None and not transmit(publisher, v):
+                if spans is not None:
+                    spans.failure(
+                        span_of.get(publisher),
+                        _classify_hop(protocol, topic, publisher, v, publisher),
+                        publisher, v, 1,
+                        failures.get((publisher, v), CAUSE_UNEXPLAINED),
+                    )
+                continue
+            receive(v, 1, publisher)
 
     while queue:
         u, hop, sender = queue.popleft()
         for v in forwarding_targets(protocol, u, topic):
-            if v == sender or not is_alive(v):
+            if v == sender:
+                continue
+            if not is_alive(v):
+                if spans is not None:
+                    failures[(u, v)] = CAUSE_DEAD_NODE
+                    spans.failure(
+                        span_of.get(u),
+                        _classify_hop(protocol, topic, u, v, publisher),
+                        u, v, hop + 1, CAUSE_DEAD_NODE,
+                    )
                 continue
             if transmit is not None and not transmit(u, v):
+                if spans is not None:
+                    spans.failure(
+                        span_of.get(u),
+                        _classify_hop(protocol, topic, u, v, publisher),
+                        u, v, hop + 1,
+                        failures.get((u, v), CAUSE_UNEXPLAINED),
+                    )
                 continue
             receive(v, hop + 1, u)
+
+    if spans is not None:
+        _attribute_misses(
+            protocol, topic, rec, spans, seen, failures,
+            initial_targets, injection_path, inject_cause,
+        )
     return rec
 
 
-def _make_transmit(protocol: "VitisProtocol", rec: DisseminationRecord):
+def _attribute_misses(
+    protocol: "VitisProtocol",
+    topic: int,
+    rec: DisseminationRecord,
+    spans: SpanRecorder,
+    seen: Set[int],
+    failures: Dict[Tuple[int, int], str],
+    initial_targets: Set[int],
+    injection_path: List[int],
+    inject_cause: Optional[str],
+) -> None:
+    """Attribute every missed delivery of one event to a concrete cause.
+
+    Tracing-only, and strictly read-only against the protocol: it
+    re-walks the overlay with the *pure* :func:`forwarding_targets`
+    topology (no fault RNG, no capacity mutation), so a traced run stays
+    byte-identical to an untraced one.
+
+    Soundness: if a node ``u`` is in the gated BFS's ``seen`` set, the
+    gated pass attempted every one of ``u``'s forwarding edges, so any
+    ungated-path edge leaving ``seen`` at ``u`` was genuinely attempted
+    and its failure cause was recorded (fault/partition/shed by the
+    transmit gate, dead next hops inline).  Walking a miss's ungated path
+    root→miss, the first edge crossing out of ``seen`` is therefore the
+    blocking edge, and its recorded cause is the miss's cause.  A miss
+    the ungated walk cannot even reach has no relay path at all.
+    """
+    missed = sorted(rec.subscribers - set(rec.delivered_hops))
+    if not missed:
+        return
+    publisher = rec.publisher
+    if not initial_targets and not injection_path:
+        # The publisher injected nothing: either its rendezvous lookup
+        # failed (no relay path to the topic's tree) or a hook deferred
+        # the injection and left a cause hint (RVR backpressure).
+        cause = inject_cause or CAUSE_NO_PATH
+        for m in missed:
+            spans.miss(m, cause)
+        return
+
+    # Ungated reachability pass over the same topology the gated BFS
+    # walked, seeded with the publisher's attempted frontier.  Sorted
+    # iteration keeps parent choice (and so the reported blocking edge)
+    # deterministic.
+    parent_of: Dict[int, Optional[int]] = {publisher: None}
+    order: deque = deque()
+
+    def reach(u: int, v: int) -> None:
+        if v not in parent_of:
+            parent_of[v] = u
+            order.append(v)
+
+    if injection_path:
+        prev = publisher
+        for v in injection_path[1:]:
+            reach(prev, v)
+            prev = v
+    for v in sorted(initial_targets):
+        reach(publisher, v)
+    while order:
+        u = order.popleft()
+        for v in sorted(forwarding_targets(protocol, u, topic)):
+            reach(u, v)
+
+    is_alive = protocol.is_alive
+    for m in missed:
+        if m not in parent_of:
+            spans.miss(m, CAUSE_NO_PATH)
+            continue
+        path: List[int] = []
+        cur: Optional[int] = m
+        while cur is not None:
+            path.append(cur)
+            cur = parent_of[cur]
+        path.reverse()
+        cause, src, dst = CAUSE_UNEXPLAINED, None, None
+        for u, v in zip(path, path[1:]):
+            if u in seen and v not in seen:
+                src, dst = u, v
+                if not is_alive(v):
+                    cause = CAUSE_DEAD_NODE
+                else:
+                    cause = failures.get((u, v), CAUSE_UNEXPLAINED)
+                break
+        spans.miss(m, cause, src, dst)
+
+
+def _make_transmit(
+    protocol: "VitisProtocol",
+    rec: DisseminationRecord,
+    failures: Optional[Dict[Tuple[int, int], str]] = None,
+):
     """The per-edge transmission gate of the fast path, or None.
 
     None on a perfect, unbounded transport (zero-cost-off: the BFS takes
@@ -216,6 +424,11 @@ def _make_transmit(protocol: "VitisProtocol", rec: DisseminationRecord):
     queue.  Faults, retries, sheds and deferrals accumulate on the
     record (the injection path is *not* gated here — its hops were
     already checked by the lookup that produced it).
+
+    ``failures`` (tracing only) collects the cause of each refused edge
+    for miss attribution; classifying a fault as partition-vs-loss uses
+    the RNG-free ``fault_model.severed`` predicate, so recording causes
+    never perturbs the run.
     """
     fm = getattr(protocol, "fault_model", None)
     cap = getattr(protocol, "capacity", None)
@@ -245,12 +458,19 @@ def _make_transmit(protocol: "VitisProtocol", rec: DisseminationRecord):
                     # the sender chose to re-batch rather than pile on.
                     rec.deferred += 1
             if not ok:
+                if failures is not None:
+                    failures[(u, v)] = (
+                        CAUSE_PARTITION if fm.severed(u, v, now)
+                        else CAUSE_FAULTED_LINK
+                    )
                 return False
         if cap is not None:
             admitted = cap.offer(u, v, "notify", now)
             net.account_logical(u, v, "notify", admitted)
             if not admitted:
                 rec.shed += 1
+                if failures is not None:
+                    failures[(u, v)] = CAUSE_SHED
                 return False
         return True
 
@@ -280,18 +500,36 @@ class _NetworkDissemination:
             subscribers=frozenset(protocol.subscribers(topic) - {publisher}),
         )
         self.forwarded: Set[int] = {publisher}
+        # Causal tracing (mirrors the fast path): messages are stamped
+        # with (trace_id, parent_span_id, hop_kind); span events fire on
+        # first receipt so both paths reconstruct to the same tree.
+        tel = protocol.telemetry
+        self.spans: Optional[SpanRecorder] = None
+        self.span_of: Dict[int, int] = {}
+        if tel.tracing:
+            self.spans = SpanRecorder(tel, tel.next_trace_id(), protocol.engine.now)
+            self.record.trace_id = self.spans.trace_id
+            self.span_of[publisher] = self.spans.root(
+                HOP_PUBLISH, publisher, topic=topic, event=event_id,
+                publisher=publisher, subs=len(self.record.subscribers),
+            )
 
     def send(self, src: int, dst: int, hops: int) -> None:
-        self.protocol.network.send(
-            Notification(
-                src=src,
-                dst=dst,
-                topic=self.topic,
-                event_id=self.event_id,
-                hops=hops,
-                publisher=self.record.publisher,
-            )
+        msg = Notification(
+            src=src,
+            dst=dst,
+            topic=self.topic,
+            event_id=self.event_id,
+            hops=hops,
+            publisher=self.record.publisher,
         )
+        if self.spans is not None:
+            msg.span = (
+                self.spans.trace_id,
+                self.span_of.get(src),
+                _classify_hop(self.protocol, self.topic, src, dst, self.record.publisher),
+            )
+        self.protocol.network.send(msg)
 
     def on_notification(self, node, msg: Notification) -> None:
         rec = self.record
@@ -300,7 +538,15 @@ class _NetworkDissemination:
         if node.address in self.forwarded:
             return
         self.forwarded.add(node.address)
-        if interested and node.address in rec.subscribers:
+        delivered = interested and node.address in rec.subscribers
+        if self.spans is not None:
+            meta = msg.span
+            parent, kind = (meta[1], meta[2]) if meta is not None else (None, HOP_PUBLISH)
+            sid = self.spans.hop(parent, kind, msg.src, node.address, msg.hops)
+            self.span_of[node.address] = sid
+            if delivered:
+                self.spans.deliver(sid, node.address, msg.hops)
+        if delivered:
             rec.delivered_hops.setdefault(node.address, msg.hops)
         for v in forwarding_targets(self.protocol, node.address, self.topic):
             if v != msg.src:
@@ -323,6 +569,9 @@ def disseminate_via_network(
     """
     run = _NetworkDissemination(protocol, topic, publisher, event_id)
     if not protocol.is_alive(publisher):
+        if run.spans is not None:
+            for m in sorted(run.record.subscribers):
+                run.spans.miss(m, CAUSE_DEAD_NODE, dst=publisher)
         return run.record
 
     # Route notifications to this run while it is active.
@@ -330,18 +579,26 @@ def disseminate_via_network(
     protocol.network.notification_sink = run
     try:
         initial_targets, injection_path = _publisher_targets(protocol, publisher, topic)
+        inject_cause = getattr(protocol, "_injection_miss_cause", None)
         if injection_path:
             # The lookup message hops through the path; model each hop as a
             # notification delivery so accounting matches the fast path.
             prev = publisher
             for hops, v in enumerate(injection_path[1:], start=1):
                 if not protocol.is_alive(v):
+                    if run.spans is not None:
+                        run.spans.failure(
+                            run.span_of.get(prev), HOP_LOOKUP, prev, v, hops,
+                            CAUSE_DEAD_NODE,
+                        )
                     break
                 node = protocol.nodes[v]
                 msg = Notification(
                     src=prev, dst=v, topic=topic, event_id=event_id,
                     hops=hops, publisher=publisher,
                 )
+                if run.spans is not None:
+                    msg.span = (run.spans.trace_id, run.span_of.get(prev), HOP_LOOKUP)
                 protocol.network.send_sync(msg)
                 prev = v
         else:
@@ -352,4 +609,19 @@ def disseminate_via_network(
         protocol.engine.run(until=protocol.engine.now + drain_horizon)
     finally:
         protocol.network.notification_sink = previous
+    if (
+        run.spans is not None
+        and protocol.fault_model is None
+        and protocol.capacity is None
+    ):
+        # Attribute misses on the reference path too.  Limitation: only
+        # fault/capacity-free runs — the network gates transmissions
+        # internally, so per-edge causes are not observable here (the
+        # fast path, which every experiment uses, attributes them all;
+        # the network's fault/drop events still carry trace/span fields
+        # for offline joins).
+        _attribute_misses(
+            protocol, topic, run.record, run.spans, run.forwarded,
+            {}, initial_targets, injection_path, inject_cause,
+        )
     return run.record

@@ -139,6 +139,10 @@ class OverlayProtocolBase:
         #: Transmissions deferred on backpressure signals so far (plain
         #: int, like ``fault_retries``).
         self.backpressure_deferred = 0
+        #: Miss-cause hint left by a ``publisher_targets`` hook that
+        #: injected nothing (e.g. RVR's backpressure deferral); read by
+        #: the tracing layer's miss attribution, reset per publish.
+        self._injection_miss_cause = None
 
         self._topic_ids: Dict[int, int] = {}
         self.sub_index: Dict[int, Set[int]] = defaultdict(set)
@@ -478,6 +482,9 @@ class OverlayProtocolBase:
                 )
             if tel.tracing:
                 hops = rec.delivered_hops.values()
+                # The span tree's trace id joins this summary event to
+                # the per-hop span/miss records of the same event.
+                extra = {"trace": rec.trace_id} if rec.trace_id is not None else {}
                 tel.event(
                     "delivery",
                     t=self.engine.now,
@@ -488,6 +495,7 @@ class OverlayProtocolBase:
                     max_hop=max(hops) if rec.delivered_hops else 0,
                     msgs=rec.total_messages,
                     relay_msgs=rec.total_relay_messages,
+                    **extra,
                 )
         return rec
 
@@ -722,6 +730,31 @@ class VitisProtocol(OverlayProtocolBase):
     # ------------------------------------------------------------------
     # Relay paths (Alg. 5 line 21 + section III-B)
     # ------------------------------------------------------------------
+    def _install_with_spans(self, topic: int, gw: int, lr, tables) -> bool:
+        """Install one gateway's relay path, recording the walk as spans.
+
+        Under ``telemetry.tracing`` every ``RequestRelay`` installation
+        gets its own trace (ids prefixed ``i``) of chained lookup-step
+        spans covering exactly the installed prefix of the walk (grafted
+        walks stop early); untraced runs take the plain call.
+        """
+        tel = self.telemetry
+        if not tel.tracing:
+            return install_path(topic, lr, tables, self.relay_stats)
+        from repro.obs.spans import HOP_LOOKUP, SpanRecorder
+
+        spans = SpanRecorder(tel, tel.next_trace_id("i"), self.engine.now)
+        state = {
+            "parent": spans.root(HOP_LOOKUP, gw, topic=topic, gateway=gw),
+            "hop": 0,
+        }
+
+        def on_hop(u: int, v: int) -> None:
+            state["hop"] += 1
+            state["parent"] = spans.hop(state["parent"], HOP_LOOKUP, u, v, state["hop"])
+
+        return install_path(topic, lr, tables, self.relay_stats, on_hop=on_hop)
+
     def install_relays(self, topics: Optional[Iterable[int]] = None) -> RelayStats:
         """Clear and rebuild the relay trees from the current gateways.
 
@@ -745,7 +778,7 @@ class VitisProtocol(OverlayProtocolBase):
             tid = self.topic_id(topic)
             for gw in self.gateways_of(topic):
                 lr = self.lookup(gw, tid, kind="relay_install")
-                install_path(topic, lr, tables, self.relay_stats)
+                self._install_with_spans(topic, gw, lr, tables)
         self.topology_version += 1
         if tel.enabled:
             stats = self.relay_stats
@@ -842,7 +875,7 @@ class VitisProtocol(OverlayProtocolBase):
             tid = self.topic_id(topic)
             for gw in self.gateways_of(topic):
                 lr = self.lookup(gw, tid, kind="relay_install")
-                install_path(topic, lr, tables, self.relay_stats)
+                self._install_with_spans(topic, gw, lr, tables)
         self.topology_version += 1
 
         repaired = len(broken)

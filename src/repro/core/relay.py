@@ -127,6 +127,7 @@ def install_path(
     lookup: LookupResult,
     tables: Dict[int, RelayTable],
     stats: Optional[RelayStats] = None,
+    on_hop=None,
 ) -> bool:
     """Install one gateway's relay path into the per-node tables.
 
@@ -134,6 +135,11 @@ def install_path(
     gateway, each hop records its parent (next node) and each next node
     records the child (previous node); the walk stops as soon as it meets a
     node that already has a parent for the topic (graft).
+
+    ``on_hop(u, v)``, when given, is called for every edge actually
+    installed (grafted walks stop early, so the callback sees exactly the
+    installed prefix) — the tracing layer uses it to record the gateway's
+    ``RequestRelay`` walk as lookup spans.
 
     Returns True if the path was installed (possibly trivially: a gateway
     that *is* the rendezvous installs nothing but is still connected).
@@ -161,6 +167,8 @@ def install_path(
             return True  # grafted onto an existing branch
         tu.set_parent(topic, v)
         tables[v].add_child(topic, u)
+        if on_hop is not None:
+            on_hop(u, v)
     return True
 
 

@@ -18,12 +18,19 @@ Telemetry
 ---------
 ``SerialExecutor`` runs trials under the ambient :func:`repro.obs.current`
 telemetry — phases nest naturally.  ``ParallelExecutor`` gives each worker
-a fresh in-process :class:`~repro.obs.Telemetry` (metrics + phases; no
-trace file, which cannot be shared across processes), captures it as a
+a fresh in-process :class:`~repro.obs.Telemetry`, captures it as a
 snapshot, and merges the snapshots into the parent telemetry on join, in
 trial order.  Counter totals and phase call counts are therefore
 identical to a serial run; phase *wall times* sum the workers' concurrent
-time and may exceed the parent's elapsed time.
+time and may exceed the parent's elapsed time.  When the parent is
+*tracing*, each trial additionally writes its trace events to a private
+temp JSONL file, which the parent folds into its own trace on join —
+again in trial order, each record tagged with a ``trial`` field (worker
+trace-id sequences restart at 0, so the tag is what keeps the merged
+``(trial, trace_id)`` keys unique; see
+:func:`repro.obs.spans.trace_key`).  The merged trace is deterministic
+for a given sweep and seed, up to the parent-side records interleaved
+around the trial blocks.
 
 Caching
 -------
@@ -38,6 +45,7 @@ re-running an identical spec is a pure cache read.  Writes are atomic
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
@@ -87,17 +95,24 @@ class SerialExecutor:
         return [t.run() for t in trials]
 
 
-def _worker_run(fn, kwargs, seed: int, instrument: bool) -> Tuple[Any, Optional[Dict]]:
+def _worker_run(
+    fn, kwargs, seed: int, instrument: bool, trace_path: Optional[str] = None
+) -> Tuple[Any, Optional[Dict]]:
     """Top-level worker entry (must be picklable by reference).
 
     Runs one trial under a fresh telemetry scope — never the telemetry
     object a forked child inherited, whose trace file descriptor is
     shared with the parent — and returns the result plus a snapshot of
-    the metrics and phase timings when instrumentation is on.
+    the metrics and phase timings when instrumentation is on.  When the
+    parent is tracing, ``trace_path`` names a private JSONL file this
+    trial's trace events go to; the parent merges it on join.
     """
-    telemetry = obs.Telemetry() if instrument else obs.NULL
-    with obs.scope(telemetry):
-        result = fn(seed=seed, **kwargs)
+    telemetry = obs.Telemetry(trace=trace_path) if instrument else obs.NULL
+    try:
+        with obs.scope(telemetry):
+            result = fn(seed=seed, **kwargs)
+    finally:
+        telemetry.close()
     return result, (telemetry.snapshot() if instrument else None)
 
 
@@ -119,22 +134,56 @@ class ParallelExecutor:
             return []
         parent = obs.current()
         instrument = parent.enabled
+        tracing = instrument and parent.tracing
         results: List[Any] = []
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [
-                pool.submit(_worker_run, t.fn, dict(t.kwargs), t.seed, instrument)
-                for t in trials
-            ]
-            for trial, future in zip(trials, futures):
-                try:
-                    result, snap = future.result()
-                except Exception:
-                    log.error("trial %s/%s failed", trial.fn.__qualname__, trial.key)
-                    raise
-                if snap is not None:
-                    parent.merge_snapshot(snap)
-                results.append(result)
+        with tempfile.TemporaryDirectory(prefix="repro-traces-") if tracing \
+                else contextlib.nullcontext() as trace_dir:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _worker_run, t.fn, dict(t.kwargs), t.seed, instrument,
+                        self._trace_path(trace_dir, i) if tracing else None,
+                    )
+                    for i, t in enumerate(trials)
+                ]
+                for i, (trial, future) in enumerate(zip(trials, futures)):
+                    try:
+                        result, snap = future.result()
+                    except Exception:
+                        log.error("trial %s/%s failed", trial.fn.__qualname__, trial.key)
+                        raise
+                    if snap is not None:
+                        parent.merge_snapshot(snap)
+                    if tracing:
+                        self._merge_trace(
+                            parent, self._trace_path(trace_dir, i), trial
+                        )
+                    results.append(result)
         return results
+
+    @staticmethod
+    def _trace_path(trace_dir: str, index: int) -> str:
+        return os.path.join(trace_dir, f"trial-{index:06d}.jsonl")
+
+    @staticmethod
+    def _merge_trace(parent, path: str, trial: Trial) -> None:
+        """Fold one worker's trace file into the parent's trace writer.
+
+        Records keep their original timestamps and are appended in trial
+        order (never completion order), tagged with a ``trial`` field —
+        worker trace ids restart at 0 per process, so the tag is what
+        keeps `(trial, trace_id)` unique in the merged file (see
+        :func:`repro.obs.spans.trace_key`).  The merged output is
+        therefore deterministic for a given sweep and seed.  A worker
+        that died mid-write leaves a truncated final line, which
+        :func:`repro.obs.read_trace` tolerates (prefix kept, warning).
+        """
+        if not os.path.exists(path):
+            return  # trial emitted no trace events
+        tag = "/".join(str(part) for part in trial.key) or str(trial.seed)
+        for record in obs.read_trace(path):
+            record["trial"] = tag
+            parent.trace.write_record(record)
 
 
 class ResultCache:

@@ -8,7 +8,13 @@ The telemetry subsystem threaded through the simulation stack:
 - :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade, the no-op
   :data:`NULL` backend, and the ambient :func:`scope`/:func:`current`
   helpers the CLI uses to instrument scenarios end-to-end;
-- :mod:`repro.obs.report` — render captured telemetry as tables.
+- :mod:`repro.obs.report` — render captured telemetry as tables;
+- :mod:`repro.obs.spans` — causal per-event span tracing (trace ids,
+  hop-kind spans, miss attribution primitives);
+- :mod:`repro.obs.audit` — the delivery auditor (expected vs actual
+  deliveries, per-cause miss attribution, unexplained-miss detection);
+- :mod:`repro.obs.critical_path` — span-tree hop/latency breakdowns and
+  the O(log² N + d) envelope check.
 
 See ``docs/observability.md`` for the trace event schema and the metric
 name catalogue.
@@ -16,6 +22,7 @@ name catalogue.
 
 from repro.obs.phases import PhaseTimer
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder, SpanTree, build_span_trees
 from repro.obs.telemetry import NULL, NullTelemetry, Telemetry, current, scope
 from repro.obs.trace import TraceWriter, read_trace
 
@@ -27,8 +34,12 @@ __all__ = [
     "NULL",
     "NullTelemetry",
     "PhaseTimer",
+    "Span",
+    "SpanRecorder",
+    "SpanTree",
     "Telemetry",
     "TraceWriter",
+    "build_span_trees",
     "current",
     "read_trace",
     "scope",

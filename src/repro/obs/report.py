@@ -8,13 +8,28 @@ with :func:`repro.experiments.reporting.format_table`, and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.reporting import format_table
+from repro.obs.audit import AuditReport, audit_trees, event_trees
+from repro.obs.critical_path import (
+    EnvelopeCheck,
+    check_envelope,
+    hop_kind_table,
+    relay_hotspots,
+)
 from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTree, build_span_trees
 from repro.obs.telemetry import Telemetry
 
-__all__ = ["metrics_rows", "phase_rows", "trace_summary_rows", "render"]
+__all__ = [
+    "metrics_rows",
+    "phase_rows",
+    "trace_summary_rows",
+    "render",
+    "span_tree_lines",
+    "trace_report",
+]
 
 
 def metrics_rows(registry: MetricsRegistry) -> List[Dict]:
@@ -50,6 +65,145 @@ def trace_summary_rows(events: List[Dict]) -> List[Dict]:
     for e in events:
         counts[e.get("ev", "?")] = counts.get(e.get("ev", "?"), 0) + 1
     return [{"event": ev, "count": n} for ev, n in sorted(counts.items())]
+
+
+def span_tree_lines(tree: SpanTree, max_spans: int = 200) -> List[str]:
+    """Render one span tree as indented ASCII lines (root first).
+
+    Failure spans show their status; the render is truncated after
+    ``max_spans`` lines (big floods would otherwise drown the report).
+    """
+    lines: List[str] = []
+    meta = " ".join(f"{k}={v}" for k, v in sorted(tree.meta.items()))
+    header = f"trace {tree.trace_id}"
+    if tree.trial is not None:
+        header += f" trial={tree.trial}"
+    if meta:
+        header += f" ({meta})"
+    lines.append(header)
+    if tree.root is None:
+        lines.append("  (no root span)")
+        return lines
+    truncated = False
+
+    def walk(span_id: int, depth: int) -> None:
+        nonlocal truncated
+        if truncated:
+            return
+        if len(lines) > max_spans:
+            truncated = True
+            return
+        s = tree.spans[span_id]
+        arrow = f"{s.src}->{s.dst}" if s.src != s.dst else f"@{s.dst}"
+        note = f" !{s.status}" if s.status is not None else ""
+        if s.retries:
+            note += f" retries={s.retries}"
+        lines.append(f"{'  ' * (depth + 1)}[{s.span}] {s.kind} {arrow} hop={s.hop}{note}")
+        for child in tree.children.get(span_id, ()):
+            walk(child, depth + 1)
+
+    walk(tree.root, 0)
+    if truncated:
+        lines.append(f"  ... truncated at {max_spans} spans "
+                     f"({len(tree.spans)} total)")
+    for m in tree.misses:
+        edge = ""
+        if "src" in m and "dst" in m:
+            edge = f" at {m['src']}->{m['dst']}"
+        lines.append(f"  miss addr={m.get('addr')} cause={m.get('cause')}{edge}")
+    return lines
+
+
+def trace_report(
+    events: List[Dict],
+    n_trees: int = 0,
+    n_hotspots: int = 10,
+) -> Tuple[str, AuditReport, Optional["EnvelopeCheck"]]:
+    """The full ``trace-report`` text plus the audit and envelope check
+    it was built from (the CLI's ``--audit`` exit code reads both).
+
+    Sections: event-type summary, per-event delivery audit totals with
+    the miss-attribution breakdown, per-hop-kind depth table, hotspot
+    relay nodes, the O(log² N + d) envelope check, and (``n_trees`` > 0)
+    rendered span trees of the first events.
+    """
+    trees = build_span_trees(events)
+    audit = audit_trees(trees)
+    ev_trees = event_trees(trees)
+    install_traces = len(trees) - len(ev_trees)
+    sections: List[str] = []
+
+    sections.append(format_table(trace_summary_rows(events), title="trace events"))
+
+    lines = [
+        f"span trees: {audit.n_events} event traces "
+        f"({audit.n_events - audit.n_incomplete} complete), "
+        f"{install_traces} install traces",
+    ]
+    if audit.expected_total:
+        pct = 100.0 * audit.delivered_total / audit.expected_total
+        lines.append(
+            f"deliveries: {audit.delivered_total}/{audit.expected_total} "
+            f"expected ({pct:.1f}%)"
+        )
+    sections.append("\n".join(lines))
+
+    causes = audit.cause_totals()
+    miss_rows = [{"cause": c, "misses": n} for c, n in sorted(causes.items())]
+    if audit.unexplained_total:
+        miss_rows.append({"cause": "unexplained", "misses": audit.unexplained_total})
+    if miss_rows:
+        sections.append(format_table(miss_rows, title="miss attribution"))
+    else:
+        sections.append("miss attribution: no misses")
+
+    kind_rows = [
+        {
+            "kind": kind,
+            "spans": stats["spans"],
+            "failed": stats["failed"],
+            "per_path_mean": round(stats["per_path_mean"], 2),
+            "per_path_max": stats["per_path_max"],
+        }
+        for kind, stats in hop_kind_table(ev_trees).items()
+    ]
+    sections.append(format_table(kind_rows, title="hop kinds"))
+
+    hot = relay_hotspots(ev_trees, n=n_hotspots)
+    if hot:
+        hot_rows = [{"address": a, "relay_spans": n} for a, n in hot]
+        sections.append(format_table(hot_rows, title="relay hotspots"))
+
+    env = check_envelope(events, trees)
+    if env is not None:
+        sections.append(
+            f"envelope O(log² N + d): N={env.n_live} d={env.d} "
+            f"bound={env.bound:.1f} p99_hops={env.p99_hops:.0f} "
+            f"max_hops={env.max_hops} -> {'OK' if env.ok else 'EXCEEDED'}"
+        )
+
+    if n_trees > 0:
+        rendered: List[str] = []
+        for tree in ev_trees[:n_trees]:
+            rendered.extend(span_tree_lines(tree))
+        if rendered:
+            sections.append("span trees:\n" + "\n".join(rendered))
+
+    if not audit.ok:
+        bad = audit.failures()
+        lines = [f"AUDIT FAILED: {len(bad)} event(s) violate the audit contract"]
+        for e in bad[:10]:
+            lines.append(
+                f"  trace {e.trace_id}"
+                + (f" trial={e.trial}" if e.trial is not None else "")
+                + f": expected={e.expected} delivered={e.delivered} "
+                  f"unexplained={e.unexplained} complete={e.complete}"
+            )
+        if len(bad) > 10:
+            lines.append(f"  ... and {len(bad) - 10} more")
+        sections.append("\n".join(lines))
+
+    return "\n\n".join(sections), audit, env
 
 
 def render(telemetry: Telemetry, title: Optional[str] = None) -> str:

@@ -77,12 +77,25 @@ class Telemetry:
         # -inf so the first progress line prints immediately (perf_counter's
         # epoch is arbitrary and may already exceed the interval).
         self._last_progress = -float("inf")
+        self._trace_seq = 0
 
     # ------------------------------------------------------------------
     @property
     def tracing(self) -> bool:
         """True when trace events are being recorded (guards payload work)."""
         return self.trace is not None
+
+    def next_trace_id(self, prefix: str = "e") -> str:
+        """Allocate the next causal trace id (``e0``, ``e1``, …).
+
+        Deterministic within one telemetry object; parallel workers each
+        restart at 0, so merged traces disambiguate by their ``trial``
+        tag (see :func:`repro.obs.spans.trace_key`).  Relay-installation
+        traces use prefix ``i`` so event and install ids never collide.
+        """
+        n = self._trace_seq
+        self._trace_seq += 1
+        return f"{prefix}{n}"
 
     def event(self, ev: str, t: Optional[float] = None, **fields) -> None:
         """Emit one trace event (no-op without a trace writer)."""
@@ -166,6 +179,7 @@ class NullTelemetry(Telemetry):
         self.phases = PhaseTimer()
         self.series = TimeSeries()
         self.trace = None
+        self._trace_seq = 0
 
     @property
     def tracing(self) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from typing import Dict, List, Optional, TextIO, Union
 
 __all__ = ["TraceWriter", "read_trace"]
@@ -60,6 +61,20 @@ class TraceWriter:
         if len(self._buffer) >= self._flush_every:
             self.flush()
 
+    def write_record(self, record: Dict) -> None:
+        """Append an already-built event record verbatim.
+
+        Used when merging per-worker trace files into a parent trace:
+        the record keeps its original ``t``/``wall`` stamps instead of
+        being re-stamped by this writer's clock.
+        """
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        self._buffer.append(json.dumps(record, default=str))
+        self.events_written += 1
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
     def flush(self) -> None:
         if self._buffer:
             self._fh.write("\n".join(self._buffer) + "\n")
@@ -82,11 +97,34 @@ class TraceWriter:
 
 
 def read_trace(path: str) -> List[Dict]:
-    """Load a JSONL trace back into a list of event dicts."""
+    """Load a JSONL trace back into a list of event dicts.
+
+    A truncated *trailing* line — the signature of a crashed or killed
+    run that died mid-write — is tolerated: the valid prefix is returned
+    and a :class:`UserWarning` names the byte offset where the partial
+    record starts.  A corrupt line in the *middle* of the file still
+    raises, because that means the file is damaged, not merely cut short.
+    """
     events: List[Dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    offset = 0
+    with open(path, "r", encoding="utf-8", newline="") as fh:
         for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            stripped = line.strip()
+            if stripped:
+                try:
+                    events.append(json.loads(stripped))
+                except json.JSONDecodeError:
+                    # Only the last line may be partial; anything after a
+                    # bad line means mid-file corruption -> re-raise.
+                    rest = fh.read()
+                    if rest.strip():
+                        raise
+                    warnings.warn(
+                        f"{path}: discarding truncated trailing record at "
+                        f"byte offset {offset} ({len(events)} events kept)",
+                        UserWarning,
+                        stacklevel=2,
+                    )
+                    break
+            offset += len(line.encode("utf-8"))
     return events

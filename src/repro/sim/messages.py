@@ -136,6 +136,14 @@ class Message:
     dst: int
     size: int = 1
 
+    # Causal-tracing metadata: ``(trace_id, span_id)`` stamped by traced
+    # runs only (see repro.obs.spans).  Deliberately NOT a dataclass
+    # field and deliberately unannotated: constructor signature, __eq__
+    # and __repr__ stay identical, and it never contributes to
+    # ``size_bytes`` — it is observability metadata, not wire payload,
+    # so capacity shedding behaves identically traced and untraced.
+    span = None
+
     @property
     def kind(self) -> str:
         """Short name used by traffic accounting."""

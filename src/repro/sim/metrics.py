@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,9 @@ class DisseminationRecord:
     #: Transmissions the sender withheld on a backpressure signal instead
     #: of pushing into a saturated inbox (deferred/re-batched, not lost).
     deferred: int = 0
+    #: Causal trace id of this event's span tree (traced runs only; see
+    #: :mod:`repro.obs.spans`).  None on untraced runs.
+    trace_id: Optional[str] = None
 
     @property
     def n_subscribers(self) -> int:
@@ -125,6 +128,7 @@ def restrict_record(
         retries=record.retries,
         shed=record.shed,
         deferred=record.deferred,
+        trace_id=record.trace_id,
     )
 
 

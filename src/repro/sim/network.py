@@ -32,6 +32,21 @@ from repro.sim.node import BaseNode
 __all__ = ["Network", "LatencyModel", "ConstantLatency", "UniformLatency"]
 
 
+def _span_fields(msg: Message) -> Dict:
+    """Causal-trace join fields of a stamped message (tracing only).
+
+    Messages stamped by a traced dissemination carry
+    ``span = (trace_id, parent_span_id, hop_kind)``; folding the first
+    two into the transport's fault/drop events lets the auditor join a
+    lost transmission back to the event's span tree.  Untraced messages
+    contribute nothing.
+    """
+    meta = msg.span
+    if meta is None:
+        return {}
+    return {"trace": meta[0], "span": meta[1]}
+
+
 class LatencyModel:
     """Maps a (src, dst) pair to a one-way delay in simulated seconds."""
 
@@ -219,6 +234,7 @@ class Network:
                 tel.event(
                     "fault", t=self.engine.now, site="network",
                     kind=msg.kind, src=msg.src, dst=msg.dst,
+                    **_span_fields(msg),
                 )
 
     def _record_shed(self, msg: Message) -> None:
@@ -238,6 +254,7 @@ class Network:
                     tel.event(
                         "drop", t=self.engine.now, site="network",
                         kind=msg.kind, src=msg.src, dst=msg.dst,
+                        **_span_fields(msg),
                     )
             return False
         self.delivered[msg.kind] += 1

@@ -95,3 +95,65 @@ class TestTelemetryFlags:
         assert main(["fig9", "--scale", "0.02", "--seed", "1"]) == 0
         assert len(obs.NULL.metrics) == before
         assert "phase breakdown" not in capsys.readouterr().err
+
+
+class TestTraceReport:
+    def traced_run(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["fig7", "--scale", "0.1", "--seed", "1",
+                     "--trace-out", str(trace)]) == 0
+        return str(trace)
+
+    def test_report_renders_all_sections(self, tmp_path, capsys):
+        trace = self.traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "span trees:" in out
+        assert "miss attribution" in out
+        assert "hop kinds" in out
+        assert "envelope O(log² N + d)" in out
+
+    def test_audit_passes_on_healthy_trace(self, tmp_path, capsys):
+        trace = self.traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", trace, "--audit"]) == 0
+        assert "audit: OK" in capsys.readouterr().err
+
+    def test_audit_fails_on_unexplained_miss(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        events = [
+            {"ev": "span", "trace": "e0", "span": 0, "kind": "publish",
+             "src": 0, "dst": 0, "hop": 0, "topic": 1, "event": 0,
+             "publisher": 0, "subs": 2},
+            {"ev": "span", "trace": "e0", "span": 1, "parent": 0,
+             "kind": "flood", "src": 0, "dst": 1, "hop": 1},
+            {"ev": "span", "trace": "e0", "span": 2, "parent": 1,
+             "kind": "deliver", "src": 1, "dst": 1, "hop": 1},
+            {"ev": "miss", "trace": "e0", "addr": 2, "cause": "unexplained"},
+        ]
+        trace.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert main(["trace-report", str(trace), "--audit"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "unexplained" in err
+
+    def test_trees_flag_renders_span_trees(self, tmp_path, capsys):
+        trace = self.traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", trace, "--trees", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace e" in out and "publish" in out
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace-report"])
+
+    def test_unreadable_target_is_error(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--audit"])
+        with pytest.raises(SystemExit):
+            main(["fig8", "extra-positional"])

@@ -176,3 +176,58 @@ class TestTelemetryMerge:
         n = len(scenarios.fig4_spec(seed=1, **FIG4_KW).trials)
         assert tel.metrics.counter("trials_total", sweep="fig4").value == 2 * n
         assert tel.metrics.counter("trials_cached_total", sweep="fig4").value == n
+
+
+class TestTraceMerge:
+    """Parallel workers write private trace files; the parent folds them
+    into its own trace in trial order, tagged with a ``trial`` field."""
+
+    def run_traced(self, tmp_path, name, executor=None):
+        path = str(tmp_path / f"{name}.jsonl")
+        tel = obs.Telemetry(trace=path)
+        with obs.scope(tel):
+            scenarios.fig4_friends_vs_sw(seed=1, executor=executor, **FIG4_KW)
+        tel.close()
+        return obs.read_trace(path)
+
+    def test_merged_trace_reconstructs_like_serial(self, tmp_path):
+        from repro.obs.audit import audit_trace
+
+        ser = self.run_traced(tmp_path, "ser")
+        par = self.run_traced(tmp_path, "par", executor=ParallelExecutor(2))
+        ser_audit = audit_trace(ser)
+        par_audit = audit_trace(par)
+        assert par_audit.ok and ser_audit.ok
+        assert par_audit.n_events == ser_audit.n_events
+        assert par_audit.delivered_total == ser_audit.delivered_total
+        assert par_audit.expected_total == ser_audit.expected_total
+
+    def test_worker_records_tagged_with_trial_key(self, tmp_path):
+        par = self.run_traced(tmp_path, "par", executor=ParallelExecutor(2))
+        span_trials = {e.get("trial") for e in par if e["ev"] == "span"}
+        assert None not in span_trials
+        assert len(span_trials) > 1  # one tag per trial
+        for tag in span_trials:
+            assert isinstance(tag, str) and tag
+
+    def test_merge_is_deterministic(self, tmp_path):
+        def spans_only(events):
+            return [
+                {k: v for k, v in e.items() if k != "wall"}
+                for e in events
+                if e["ev"] in ("span", "miss")
+            ]
+
+        first = self.run_traced(tmp_path, "a", executor=ParallelExecutor(2))
+        second = self.run_traced(tmp_path, "b", executor=ParallelExecutor(2))
+        assert spans_only(first) == spans_only(second)
+
+    def test_untraced_parallel_run_writes_no_trace_files(self, tmp_path):
+        # metrics-only telemetry: the merge path must not even create
+        # worker trace files (tracing is off).
+        tel = obs.Telemetry()
+        with obs.scope(tel):
+            scenarios.fig4_friends_vs_sw(
+                seed=1, executor=ParallelExecutor(2), **FIG4_KW
+            )
+        assert tel.trace is None

@@ -62,3 +62,62 @@ class TestTraceWriter:
             tw.emit("x")
         assert tw.events_written == 7
         tw.close()
+
+
+class TestWriteRecord:
+    def test_record_appended_verbatim(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TraceWriter(path) as tw:
+            tw.write_record({"ev": "span", "t": 9.5, "wall": 0.001, "trial": "a/b"})
+        (event,) = read_trace(path)
+        assert event == {"ev": "span", "t": 9.5, "wall": 0.001, "trial": "a/b"}
+
+    def test_counts_and_flush_threshold(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tw = TraceWriter(path, flush_every=2)
+        tw.write_record({"ev": "a"})
+        assert open(path, encoding="utf-8").read() == ""  # buffered
+        tw.write_record({"ev": "b"})
+        assert len(open(path, encoding="utf-8").read().splitlines()) == 2
+        assert tw.events_written == 2
+        tw.close()
+
+    def test_after_close_raises(self, tmp_path):
+        tw = TraceWriter(str(tmp_path / "t.jsonl"))
+        tw.close()
+        with pytest.raises(ValueError):
+            tw.write_record({"ev": "x"})
+
+
+class TestTruncatedTrace:
+    def write_trace(self, tmp_path, tail):
+        path = tmp_path / "t.jsonl"
+        body = '{"ev": "a", "n": 1}\n{"ev": "b", "n": 2}\n'
+        path.write_text(body + tail, encoding="utf-8")
+        return str(path), len(body.encode())
+
+    def test_truncated_trailing_line_warns_and_keeps_prefix(self, tmp_path):
+        path, offset = self.write_trace(tmp_path, '{"ev": "c", "n"')
+        with pytest.warns(UserWarning) as caught:
+            events = read_trace(path)
+        assert [e["ev"] for e in events] == ["a", "b"]
+        message = str(caught[0].message)
+        assert f"byte offset {offset}" in message
+        assert "2 events kept" in message
+
+    def test_truncated_line_with_trailing_newline(self, tmp_path):
+        path, _ = self.write_trace(tmp_path, '{"ev": "c"\n')
+        with pytest.warns(UserWarning):
+            events = read_trace(path)
+        assert len(events) == 2
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        path, _ = self.write_trace(tmp_path, 'garbage\n{"ev": "c", "n": 3}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_trace(path)
+
+    def test_intact_file_no_warning(self, tmp_path, recwarn):
+        path, _ = self.write_trace(tmp_path, '{"ev": "c", "n": 3}\n')
+        events = read_trace(path)
+        assert len(events) == 3
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]

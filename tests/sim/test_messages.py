@@ -165,3 +165,36 @@ class TestSizeBytes:
         # byte audit must not disturb it.
         assert Message(src=0, dst=1).size == 1
         assert Notification(src=0, dst=1).size == 1
+
+
+class TestSpanMetadata:
+    """The causal-tracing stamp must be invisible to untraced machinery."""
+
+    def test_untraced_messages_carry_no_span(self):
+        msg = Notification(src=0, dst=1, topic=3)
+        assert msg.span is None
+        assert "span" not in vars(msg)  # class default, no per-instance slot
+
+    def test_span_is_not_a_dataclass_field(self):
+        import dataclasses
+
+        names = {f.name for f in dataclasses.fields(Notification)}
+        assert "span" not in names
+
+    def test_stamping_does_not_change_size_bytes(self):
+        plain = Notification(src=0, dst=1, topic=3, event_id=4, hops=2)
+        stamped = Notification(src=0, dst=1, topic=3, event_id=4, hops=2)
+        stamped.span = ("e0", 5, "flood")
+        assert stamped.size_bytes == plain.size_bytes
+        assert plain.size_bytes == 24 + 4 * 8  # pinned: header + 4 words
+
+    def test_stamping_does_not_affect_equality_or_repr(self):
+        plain = Notification(src=0, dst=1, topic=3)
+        stamped = Notification(src=0, dst=1, topic=3)
+        stamped.span = ("e0", 5, "flood")
+        assert plain == stamped
+        assert repr(plain) == repr(stamped)
+
+    def test_constructor_rejects_span_kwarg(self):
+        with pytest.raises(TypeError):
+            Notification(src=0, dst=1, span=("e0", 1, "flood"))
