@@ -6,6 +6,8 @@
     python -m repro fig4 [--csv out.csv] [--seed N] [--scale X]
     python -m repro fig9
     python -m repro trace-report TRACE.jsonl [--audit] [--trees N]
+    python -m repro bench --scenario fig7 [--profile] [--compare BASE.json]
+    python -m repro bench-report BENCH_fig7.json
     ...
 
 Each figure command builds the corresponding scenario's sweep
@@ -21,7 +23,10 @@ Execution flags (see ``docs/experiments.md``):
   resumable on-disk cache;
 - ``--resume`` — with ``--cache-dir``: load already-cached trials
   instead of re-running them, so an interrupted sweep restarts where it
-  stopped.
+  stopped;
+- ``--strict-cache`` — with ``--resume``: treat cached trials written by
+  a different repro version or code state as misses and recompute them
+  (by default they are reused with a warning).
 
 Telemetry flags (see ``docs/observability.md``):
 
@@ -55,6 +60,28 @@ Trace analysis (see ``docs/observability.md``) — ``trace-report`` only:
   trees, or a violated O(log² N + d) delivery-depth envelope;
 - ``--trees N`` — render the first N event span trees as ASCII;
 - ``--hotspots N`` — how many hotspot relay nodes to show (default 10).
+
+Benchmarking (see ``docs/observability.md``) — ``bench`` /
+``bench-report`` only:
+
+- ``bench --scenario NAME`` — run one pinned-seed bench of a scenario
+  through the normal executor stack, print the perf summary and append
+  the run to the ``BENCH_<NAME>.json`` trajectory at the repo root;
+- ``--profile`` — additionally wrap the trials in cProfile and print the
+  top functions by cumulative time;
+- ``--compare BASELINE.json`` — band this run's metrics against the
+  baseline trajectory's latest run; exit non-zero on a regression or on
+  reduced-row drift;
+- ``--tolerance NAME=FRAC`` (repeatable) — override one tolerance band
+  (e.g. ``--tolerance wall_s=0.5``);
+- ``--update-baseline`` — rewrite the baseline as this run instead of
+  gating against it;
+- ``--bench-out FILE.json`` — trajectory file to append to (defaults to
+  ``BENCH_<NAME>.json`` at the repo root);
+- ``--no-memory`` — skip tracemalloc collection (faster; the run is
+  marked so comparisons stay like-for-like);
+- ``bench-report TARGET`` — render a trajectory file (or a scenario
+  name, resolved to its canonical path) as run/phase-delta tables.
 """
 
 from __future__ import annotations
@@ -64,7 +91,8 @@ import json
 import logging
 import sys
 import time
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional
 
 from repro import obs
 from repro.experiments import reporting
@@ -87,11 +115,13 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        help="'list', 'fig4'..'fig12', an ablation name, or 'trace-report'",
+        help="'list', 'fig4'..'fig12', an ablation name, 'trace-report', "
+             "'bench' or 'bench-report'",
     )
     parser.add_argument(
         "target", nargs="?",
-        help="trace-report only: the JSONL trace file to analyse",
+        help="trace-report: the JSONL trace file to analyse; "
+             "bench-report: the BENCH_*.json file (or scenario name)",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
@@ -112,6 +142,12 @@ def main(argv: List[str] | None = None) -> int:
         "--resume", action="store_true",
         help="with --cache-dir: load cached trial results instead of "
              "re-running them",
+    )
+    parser.add_argument(
+        "--strict-cache", action="store_true", dest="strict_cache",
+        help="with --resume: recompute cached trials written by a "
+             "different repro version or code state instead of reusing "
+             "them",
     )
     parser.add_argument(
         "--trace-out", metavar="FILE.jsonl",
@@ -175,15 +211,66 @@ def main(argv: List[str] | None = None) -> int:
         "--hotspots", type=int, default=10, metavar="N",
         help="trace-report only: show the N heaviest relay nodes",
     )
+    parser.add_argument(
+        "--scenario", metavar="NAME",
+        help="bench only: the scenario to benchmark (try 'list')",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="bench only: wrap the trials in cProfile and print the top "
+             "functions by cumulative time",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE.json",
+        help="bench only: band this run against the baseline trajectory's "
+             "latest run; exit non-zero on regression or row drift",
+    )
+    parser.add_argument(
+        "--tolerance", action="append", metavar="NAME=FRAC",
+        dest="tolerances",
+        help="bench only: override one tolerance band, e.g. wall_s=0.5 "
+             "(repeatable)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true", dest="update_baseline",
+        help="bench only: rewrite the baseline as this run instead of "
+             "gating against it",
+    )
+    parser.add_argument(
+        "--bench-out", metavar="FILE.json", dest="bench_out",
+        help="bench only: trajectory file to append to (default "
+             "BENCH_<scenario>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-memory", action="store_true", dest="no_memory",
+        help="bench only: skip tracemalloc peak/top-allocator collection",
+    )
     args = parser.parse_args(argv)
 
     report_flags = args.audit or args.trees or args.hotspots != 10
     if report_flags and args.command != "trace-report":
         parser.error("--audit/--trees/--hotspots only apply to the "
                      "trace-report command")
-    if args.target is not None and args.command != "trace-report":
-        parser.error("a positional trace file only applies to the "
-                     "trace-report command")
+    if args.target is not None and args.command not in (
+        "trace-report", "bench-report"
+    ):
+        parser.error("a positional target only applies to the trace-report "
+                     "and bench-report commands")
+    bench_flags = (
+        args.scenario or args.profile or args.compare or args.tolerances
+        or args.update_baseline or args.bench_out or args.no_memory
+    )
+    if bench_flags and args.command != "bench":
+        parser.error("--scenario/--profile/--compare/--tolerance/"
+                     "--update-baseline/--bench-out/--no-memory only apply "
+                     "to the bench command")
+    if args.command == "bench" and (
+        args.cache_dir or args.resume or args.csv or args.trace_out
+        or args.metrics_out
+    ):
+        parser.error("bench runs fresh trials under its own telemetry; "
+                     "--cache-dir/--resume/--csv/--trace-out/--metrics-out "
+                     "do not apply to the bench command")
     fault_flags = args.loss_rates or args.partitions or args.fault_seed is not None
     if fault_flags and args.command != "fault_sweep":
         parser.error("--loss-rate/--partition/--fault-seed only apply to "
@@ -196,6 +283,8 @@ def main(argv: List[str] | None = None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.resume and not args.cache_dir:
         parser.error("--resume requires --cache-dir")
+    if args.strict_cache and not args.resume:
+        parser.error("--strict-cache requires --resume")
 
     if args.log_level:
         level = getattr(logging, args.log_level.upper(), None)
@@ -215,6 +304,12 @@ def main(argv: List[str] | None = None) -> int:
 
     if args.command == "trace-report":
         return _trace_report(parser, args)
+
+    if args.command == "bench":
+        return _bench(parser, args)
+
+    if args.command == "bench-report":
+        return _bench_report(parser, args)
 
     scenario = SCENARIOS.get(args.command)
     if scenario is None:
@@ -245,7 +340,10 @@ def main(argv: List[str] | None = None) -> int:
 
     sweep = scenario.sweep(seed=args.seed, scale=args.scale, **overrides)
     executor = ParallelExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    cache = (
+        ResultCache(args.cache_dir, strict=args.strict_cache)
+        if args.cache_dir else None
+    )
 
     t0 = time.time()
     with obs.scope(telemetry), telemetry.phase(args.command):
@@ -296,6 +394,144 @@ def _trace_report(parser: argparse.ArgumentParser, args) -> int:
             print("audit: FAILED — " + "; ".join(failed), file=sys.stderr)
             return 1
         print("audit: OK", file=sys.stderr)
+    return 0
+
+
+def _parse_tolerances(
+    parser: argparse.ArgumentParser, items: Optional[List[str]]
+) -> Dict[str, float]:
+    """``["wall_s=0.5", ...]`` → ``{"wall_s": 0.5, ...}`` (or parser.error)."""
+    tolerances: Dict[str, float] = {}
+    for item in items or ():
+        name, sep, value = item.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            tolerances[name] = float(value)
+        except ValueError:
+            parser.error(f"invalid --tolerance {item!r} "
+                         "(expected NAME=FRAC, e.g. wall_s=0.15)")
+    return tolerances
+
+
+def _bench(parser: argparse.ArgumentParser, args) -> int:
+    """``python -m repro bench --scenario fig7 [--profile] [--compare ...]``.
+
+    Runs one pinned-seed bench of the scenario through
+    :class:`repro.obs.perf.BenchHarness`, prints the summary/phase (and,
+    with ``--profile``, cProfile) tables, appends the run to the
+    trajectory file, and optionally gates against a baseline.
+    """
+    if not args.scenario:
+        parser.error("bench needs --scenario NAME (try 'list')")
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    from repro.obs import perf
+    from repro.obs.report import (
+        bench_compare_rows,
+        bench_phase_rows,
+        bench_summary_rows,
+    )
+    from repro.provenance import repo_root
+
+    tolerances = _parse_tolerances(parser, args.tolerances)
+    harness = perf.BenchHarness(
+        args.scenario,
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        memory=not args.no_memory,
+        profile=args.profile,
+    )
+    run = harness.run()
+    print(reporting.format_table(
+        bench_summary_rows(run), title=f"bench {args.scenario}"
+    ))
+    p_rows = bench_phase_rows(run)
+    if p_rows:
+        print(reporting.format_table(p_rows, title="phases"))
+    if args.profile:
+        prof_rows = harness.profile_rows()
+        if prof_rows:
+            print(reporting.format_table(
+                prof_rows, title="profile (top cumulative time)"
+            ))
+
+    out_path = (
+        Path(args.bench_out) if args.bench_out
+        else perf.bench_path(args.scenario)
+    )
+    doc = perf.append_run(out_path, run)
+    print(f"appended run {len(doc['runs'])} to {out_path}", file=sys.stderr)
+
+    if args.update_baseline:
+        baseline_path = Path(args.compare) if args.compare else (
+            repo_root() / "benchmarks" / "baselines"
+            / f"BENCH_{args.scenario}.json"
+        )
+        fresh = perf.new_trajectory(args.scenario)
+        fresh["runs"].append(run)
+        perf.write_trajectory(baseline_path, fresh)
+        print(f"baseline updated: {baseline_path}", file=sys.stderr)
+        return 0
+
+    if args.compare:
+        try:
+            baseline = perf.latest_run(perf.load_trajectory(args.compare))
+        except OSError as exc:
+            print(f"cannot read baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"invalid baseline {args.compare}: {exc}", file=sys.stderr)
+            return 2
+        result = perf.compare_runs(run, baseline,
+                                   tolerances=tolerances or None)
+        rows = bench_compare_rows(result)
+        if rows:
+            print(reporting.format_table(
+                rows, title=f"compare vs {args.compare}"
+            ))
+        for note in result.notes:
+            print(f"note: {note}", file=sys.stderr)
+        if not result.ok:
+            reasons = [d.metric for d in result.regressions]
+            if result.drift:
+                reasons.append("row drift")
+            print(f"bench compare: REGRESSED ({', '.join(reasons)})",
+                  file=sys.stderr)
+            return 1
+        print("bench compare: OK", file=sys.stderr)
+    return 0
+
+
+def _bench_report(parser: argparse.ArgumentParser, args) -> int:
+    """``python -m repro bench-report BENCH_fig7.json`` (or scenario name).
+
+    Renders a trajectory file as per-run and latest-vs-previous phase
+    delta tables.  A bare scenario name resolves to the canonical
+    ``BENCH_<name>.json`` at the repo root.
+    """
+    if not args.target:
+        parser.error("bench-report needs a target: a BENCH_*.json file "
+                     "or a scenario name")
+    from repro.obs import perf
+    from repro.obs.report import bench_report
+
+    path = Path(args.target)
+    if not path.exists() and args.target in SCENARIOS:
+        path = perf.bench_path(args.target)
+    try:
+        doc = perf.load_trajectory(path)
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"invalid trajectory {path}: {exc}", file=sys.stderr)
+        return 2
+    print(bench_report(doc))
     return 0
 
 

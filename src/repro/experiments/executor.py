@@ -41,6 +41,16 @@ canonical kwargs, seed).  With ``resume=True`` cached trials are loaded
 instead of re-run, so an interrupted sweep restarts where it stopped and
 re-running an identical spec is a pure cache read.  Writes are atomic
 (temp file + rename), so a killed run never leaves a torn entry.
+
+Every entry additionally records the repro version and the package code
+fingerprint (:func:`repro.provenance.code_fingerprint`) that produced
+it.  The trial hash only covers the *spec* — same kwargs, same seed —
+so after a code change an old entry still matches its key while the
+result it holds may no longer be what the current code computes.
+``run_sweep`` warns when such stale entries are reused; a
+``ResultCache(root, strict=True)`` (CLI ``--strict-cache``) treats them
+as misses and recomputes instead, which is what keeps the bench
+trajectory honest.
 """
 
 from __future__ import annotations
@@ -187,31 +197,60 @@ class ParallelExecutor:
 
 
 class ResultCache:
-    """Completed-trial results on disk, one JSON file per trial hash."""
+    """Completed-trial results on disk, one JSON file per trial hash.
 
-    def __init__(self, root) -> None:
+    ``strict=True`` refuses to reuse entries written by a different repro
+    version or code state (they read as misses and the trials re-run);
+    the default reuses them but lets :func:`run_sweep` warn.
+    """
+
+    def __init__(self, root, strict: bool = False) -> None:
         self.root = Path(root)
+        self.strict = strict
 
     def path(self, sweep_name: str, key: str) -> Path:
         return self.root / sweep_name / f"{key}.json"
 
+    def _meta(self) -> Dict:
+        from repro import __version__
+        from repro.provenance import code_fingerprint
+
+        return {"repro_version": __version__, "code_hash": code_fingerprint()}
+
     def load(self, sweep_name: str, key: str) -> Any:
         """The cached result, or ``_MISSING`` on absence or corruption."""
+        result, _stale = self.load_checked(sweep_name, key)
+        return result
+
+    def load_checked(self, sweep_name: str, key: str) -> Tuple[Any, bool]:
+        """``(result, stale)`` — the cached result plus whether the entry
+        predates the current code.
+
+        Absence and corruption read as ``(_MISSING, False)``.  A stale
+        entry (recorded repro version/code fingerprint differs from the
+        running package, or no provenance recorded at all) reads as
+        ``(result, True)`` — or ``(_MISSING, True)`` under ``strict``,
+        forcing a recompute.
+        """
         path = self.path(sweep_name, key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, json.JSONDecodeError):
-            return _MISSING
+            return _MISSING, False
         if entry.get("key") != key:
-            return _MISSING
-        return entry["result"]
+            return _MISSING, False
+        stale = entry.get("meta") != self._meta()
+        if stale and self.strict:
+            return _MISSING, True
+        return entry["result"], stale
 
     def store(self, sweep_name: str, key: str, spec: Dict, result: Any) -> None:
         """Atomically persist one trial result (temp file + rename)."""
         path = self.path(sweep_name, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"key": key, "spec": spec, "result": result}
+        payload = {"key": key, "spec": spec, "result": result,
+                   "meta": self._meta()}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -252,12 +291,18 @@ def run_sweep(
     results: List[Any] = [_MISSING] * len(sweep.trials)
 
     cached = 0
+    stale_reused = 0
+    stale_skipped = 0
     if cache is not None and resume:
         for i, key in enumerate(keys):
-            hit = cache.load(sweep.name, key)
+            hit, stale = cache.load_checked(sweep.name, key)
             if hit is not _MISSING:
                 results[i] = hit
                 cached += 1
+                if stale:
+                    stale_reused += 1
+            elif stale:
+                stale_skipped += 1
 
     pending = [i for i, r in enumerate(results) if r is _MISSING]
     if pending:
@@ -274,4 +319,13 @@ def run_sweep(
     if cached:
         log.info("sweep %s: %d/%d trials served from cache",
                  sweep.name, cached, len(results))
+    if stale_reused:
+        log.warning(
+            "sweep %s: %d cached trial(s) predate the current code "
+            "(repro version or code fingerprint changed); results may not "
+            "match a fresh run — use --strict-cache to recompute",
+            sweep.name, stale_reused)
+    if stale_skipped:
+        log.info("sweep %s: %d stale cached trial(s) skipped (strict cache), "
+                 "recomputed", sweep.name, stale_skipped)
     return sweep.reduce(results)

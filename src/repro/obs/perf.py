@@ -1,0 +1,604 @@
+"""Performance observability: the bench harness and the BENCH trajectory.
+
+ROADMAP item 1 (the engine speed overhaul) needs every optimisation PR
+to *prove* its speedup or its no-regression.  This module is that proof
+machinery, layered on the existing :mod:`repro.obs` channels:
+
+- :func:`collect_callable` — run any callable under a fresh, enabled
+  :class:`~repro.obs.telemetry.Telemetry` and record its wall time,
+  per-phase breakdown (:class:`~repro.obs.phases.PhaseTimer`),
+  throughput (events/sec and messages/sec from the
+  :class:`~repro.obs.registry.MetricsRegistry` counters), peak RSS,
+  ``tracemalloc`` peak + top allocators, and full provenance
+  (:mod:`repro.provenance`: git sha, code fingerprint, interpreter, CPU
+  count).  Optionally wraps the call in :mod:`cProfile`.
+- :class:`BenchHarness` — drives one pinned-seed scenario sweep
+  (:data:`repro.experiments.scenarios.SCENARIOS`, through the normal
+  ``run_sweep`` executor stack) under :func:`collect_callable` and
+  stamps the run with its spec identity (scenario, seed, scale, jobs,
+  trial count) plus a sha256 fingerprint of the reduced rows — so a
+  perf run doubles as a determinism check.
+- the ``BENCH_<scenario>.json`` trajectory: one file per scenario,
+  written atomically, each bench run *appended* to the ``runs`` list so
+  successive PRs form a time series (:func:`append_run`,
+  :func:`load_trajectory`, :func:`validate_run`).
+- :func:`compare_runs` — per-metric tolerance bands against a baseline
+  run: wall time / throughput / memory regressions and reduced-row
+  drift, feeding the CLI's ``bench --compare`` nonzero exit.
+
+Everything here is pull-only and opt-in: nothing in this module is
+imported on any simulation hot path, and scenario runs without the
+bench harness are byte-identical to a build without it.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import json
+import os
+import pstats
+import tempfile
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+try:
+    import resource
+except ImportError:  # pragma: no cover — non-POSIX
+    resource = None  # type: ignore[assignment]
+
+from repro.obs.telemetry import Telemetry, scope
+from repro.provenance import provenance, repo_root
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchHarness",
+    "CollectedRun",
+    "CompareResult",
+    "DEFAULT_TOLERANCES",
+    "MetricDelta",
+    "append_run",
+    "bench_path",
+    "collect_callable",
+    "compare_runs",
+    "latest_run",
+    "load_trajectory",
+    "new_trajectory",
+    "rows_fingerprint",
+    "validate_run",
+    "validate_trajectory",
+    "write_trajectory",
+]
+
+#: Trajectory file format; bump on incompatible schema changes.
+BENCH_SCHEMA = "repro.obs.perf/1"
+
+#: Default per-metric tolerance bands for :func:`compare_runs`, as
+#: fractional change in the *worse* direction.  Timing and memory wobble
+#: run-to-run; counts do not — an injected ≥20% wall-time regression must
+#: trip the default band, hence 0.15.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "wall_s": 0.15,
+    "events_per_s": 0.15,
+    "messages_per_s": 0.15,
+    "peak_rss_kb": 0.25,
+    "tracemalloc_peak_kb": 0.25,
+}
+
+#: Which direction is a regression: +1 = higher is worse, -1 = lower is
+#: worse.
+METRIC_DIRECTIONS: Dict[str, int] = {
+    "wall_s": 1,
+    "events_per_s": -1,
+    "messages_per_s": -1,
+    "peak_rss_kb": 1,
+    "tracemalloc_peak_kb": 1,
+}
+
+#: Counters folded into every bench record (summed across label sets).
+THROUGHPUT_COUNTERS: Tuple[str, ...] = (
+    "engine_cycles_total",
+    "engine_events_total",
+    "events_published_total",
+    "deliveries_total",
+    "delivery_msgs_total",
+    "relay_msgs_total",
+    "lookups_total",
+    "trials_total",
+)
+
+
+def rows_fingerprint(rows: Sequence[Dict]) -> str:
+    """Canonical sha256 of a sweep's reduced rows.
+
+    Two runs of the same (scenario, seed, scale) must produce the same
+    fingerprint — the determinism contract — so a fingerprint change
+    between a baseline and a candidate flags result drift, not just a
+    slowdown.
+    """
+    material = json.dumps(list(rows), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def counter_totals(registry) -> Dict[str, float]:
+    """Counter values summed across label sets, keyed by bare name."""
+    totals: Dict[str, float] = {}
+    for rendered, value in registry.to_dict()["counters"].items():
+        name = rendered.split("{", 1)[0]
+        totals[name] = totals.get(name, 0.0) + value
+    return totals
+
+
+def _short_site(filename: str, lineno: int) -> str:
+    """``.../src/repro/sim/engine.py:42`` → ``repro/sim/engine.py:42``."""
+    path = filename.replace(os.sep, "/")
+    marker = "/repro/"
+    idx = path.rfind(marker)
+    if idx >= 0:
+        path = "repro/" + path[idx + len(marker):]
+    else:
+        path = path.rsplit("/", 1)[-1]
+    return f"{path}:{lineno}"
+
+
+def _memory_stats(top_allocators: int) -> Dict:
+    """Peak traced bytes and the top allocation sites, while tracing."""
+    _, peak = tracemalloc.get_traced_memory()
+    snapshot = tracemalloc.take_snapshot()
+    stats = snapshot.statistics("lineno")
+    top = [
+        {
+            "site": _short_site(s.traceback[0].filename, s.traceback[0].lineno),
+            "size_kb": round(s.size / 1024.0, 1),
+            "count": s.count,
+        }
+        for s in stats[:top_allocators]
+    ]
+    return {"tracemalloc_peak_kb": round(peak / 1024.0, 1), "top_allocators": top}
+
+
+def _peak_rss_kb() -> Optional[Dict[str, float]]:
+    """High-water RSS of this process and its (reaped) children, in KB.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark — it cannot be
+    reset per run, so on a warm process it may reflect earlier work.
+    Bench comparisons use fresh CLI processes, where it is exact.
+    """
+    if resource is None:  # pragma: no cover — non-POSIX
+        return None
+    scale = 1024.0 if os.uname().sysname == "Darwin" else 1.0  # bytes on macOS
+    return {
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / scale,
+        "children_peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_CHILDREN
+        ).ru_maxrss / scale,
+    }
+
+
+@dataclass
+class CollectedRun:
+    """What :func:`collect_callable` hands back."""
+
+    result: Any                       #: the callable's return value
+    run: Dict                         #: the bench-run record
+    telemetry: Telemetry              #: the registry/phase timer it ran under
+    profile: Optional[pstats.Stats] = None
+
+    def profile_rows(self, top: int = 25) -> List[Dict]:
+        """Top-``top`` functions by cumulative time, as table rows.
+
+        Deterministically ordered (cumulative time desc, then function
+        identity) so rendered profiles are stable for equal timings.
+        """
+        if self.profile is None:
+            return []
+        entries = sorted(
+            self.profile.stats.items(), key=lambda kv: (-kv[1][3], kv[0])
+        )
+        return [
+            {
+                "function": f"{_short_site(filename, lineno)}:{funcname}",
+                "calls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+            for (filename, lineno, funcname), (cc, nc, tt, ct, _callers)
+            in entries[:top]
+        ]
+
+
+def collect_callable(
+    name: str,
+    fn,
+    *,
+    memory: bool = True,
+    top_allocators: int = 10,
+    profile: bool = False,
+) -> CollectedRun:
+    """Run ``fn()`` under a fresh enabled telemetry and collect perf data.
+
+    The callable runs inside ``obs.scope`` with a phase named ``name``
+    open, so instrumented code underneath lands its counters and phase
+    timings in the collected record.  ``memory=True`` wraps the call in
+    ``tracemalloc`` (which itself slows allocation — the flag is recorded
+    in the run so comparisons can refuse apples-to-oranges);
+    ``profile=True`` additionally wraps it in :mod:`cProfile`.
+    """
+    telemetry = Telemetry()
+    profiler = cProfile.Profile() if profile else None
+    if memory:
+        tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        with scope(telemetry), telemetry.phase(name):
+            if profiler is not None:
+                result = profiler.runcall(fn)
+            else:
+                result = fn()
+        wall = time.perf_counter() - t0
+        mem = _memory_stats(top_allocators) if memory else None
+    finally:
+        if memory:
+            tracemalloc.stop()
+
+    counters = counter_totals(telemetry.metrics)
+    messages = counters.get("delivery_msgs_total", 0.0) + counters.get(
+        "relay_msgs_total", 0.0
+    )
+    throughput = {
+        "events_per_s": round(counters.get("engine_events_total", 0.0) / wall, 3)
+        if wall > 0 else 0.0,
+        "messages_per_s": round(messages / wall, 3) if wall > 0 else 0.0,
+    }
+    rss = _peak_rss_kb()
+    if mem is not None and rss is not None:
+        mem.update(rss)
+
+    run = {
+        "scenario": name,
+        "wall_s": round(wall, 6),
+        "memory_profiling": bool(memory),
+        "phases": telemetry.phases.to_dict(),
+        "counters": {k: v for k, v in sorted(counters.items())},
+        "throughput": throughput,
+        "memory": mem,
+        "provenance": provenance(),
+    }
+    stats = pstats.Stats(profiler) if profiler is not None else None
+    return CollectedRun(result=result, run=run, telemetry=telemetry, profile=stats)
+
+
+class BenchHarness:
+    """One pinned-seed scenario sweep, measured end to end.
+
+    Builds the scenario's sweep exactly the way the CLI does (same
+    ``--seed``/``--scale`` semantics, same executor stack), runs it under
+    :func:`collect_callable`, and returns a bench-run record carrying the
+    spec identity alongside the perf channels — ready for
+    :func:`append_run` and :func:`compare_runs`.
+
+    The rows the sweep reduces to are fingerprinted into the record
+    (``rows_sha256``), so a bench run also certifies that the measured
+    code still produces the measured results.
+    """
+
+    def __init__(
+        self,
+        scenario: str,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+        jobs: int = 1,
+        memory: bool = True,
+        top_allocators: int = 10,
+        profile: bool = False,
+    ) -> None:
+        from repro.experiments.scenarios import SCENARIOS
+
+        if scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; expected one of "
+                f"{sorted(SCENARIOS)}"
+            )
+        self.scenario = SCENARIOS[scenario]
+        self.name = scenario
+        self.seed = int(seed)
+        self.scale = float(scale)
+        self.jobs = int(jobs)
+        self.memory = memory
+        self.top_allocators = top_allocators
+        self.profile = profile
+        self.collected: Optional[CollectedRun] = None
+
+    def run(self) -> Dict:
+        """Execute the sweep and return the bench-run record."""
+        from repro.experiments.executor import (
+            ParallelExecutor,
+            SerialExecutor,
+            run_sweep,
+        )
+
+        sweep = self.scenario.sweep(seed=self.seed, scale=self.scale)
+        executor = (
+            ParallelExecutor(self.jobs) if self.jobs > 1 else SerialExecutor()
+        )
+
+        def job():
+            return run_sweep(sweep, executor=executor)
+
+        collected = collect_callable(
+            self.name,
+            job,
+            memory=self.memory,
+            top_allocators=self.top_allocators,
+            profile=self.profile,
+        )
+        self.collected = collected
+        rows = collected.result
+        run = collected.run
+        run.update(
+            seed=self.seed,
+            scale=self.scale,
+            jobs=self.jobs,
+            trials=len(sweep.trials),
+            rows=len(rows),
+            rows_sha256=rows_fingerprint(rows),
+        )
+        validate_run(run)
+        return run
+
+    def profile_rows(self, top: int = 25) -> List[Dict]:
+        """The cProfile table of the last :meth:`run` (empty without
+        ``profile=True``)."""
+        return self.collected.profile_rows(top) if self.collected else []
+
+
+# ----------------------------------------------------------------------
+# The BENCH_<scenario>.json trajectory
+# ----------------------------------------------------------------------
+def bench_path(scenario: str, root: Union[str, Path, None] = None) -> Path:
+    """The canonical trajectory path: ``<repo root>/BENCH_<scenario>.json``."""
+    base = Path(root) if root is not None else repo_root()
+    return base / f"BENCH_{scenario}.json"
+
+
+def new_trajectory(scenario: str) -> Dict:
+    return {"schema": BENCH_SCHEMA, "scenario": scenario, "runs": []}
+
+
+def validate_run(run: Dict) -> None:
+    """Raise ``ValueError`` unless ``run`` is a schema-valid bench record."""
+    if not isinstance(run, dict):
+        raise ValueError(f"bench run must be a dict, got {type(run).__name__}")
+    for key, types in (
+        ("scenario", str),
+        ("wall_s", (int, float)),
+        ("phases", dict),
+        ("counters", dict),
+        ("throughput", dict),
+        ("provenance", dict),
+    ):
+        if key not in run:
+            raise ValueError(f"bench run missing required field {key!r}")
+        if not isinstance(run[key], types):
+            raise ValueError(
+                f"bench run field {key!r} has wrong type "
+                f"{type(run[key]).__name__}"
+            )
+    if run["wall_s"] < 0:
+        raise ValueError(f"bench run wall_s must be >= 0, got {run['wall_s']}")
+    for key in ("events_per_s", "messages_per_s"):
+        if not isinstance(run["throughput"].get(key), (int, float)):
+            raise ValueError(f"bench run throughput missing {key!r}")
+    for key in ("code_hash", "python", "cpu_count"):
+        if key not in run["provenance"]:
+            raise ValueError(f"bench run provenance missing {key!r}")
+    mem = run.get("memory")
+    if mem is not None:
+        if not isinstance(mem, dict) or "tracemalloc_peak_kb" not in mem:
+            raise ValueError("bench run memory block missing tracemalloc_peak_kb")
+
+
+def validate_trajectory(doc: Dict) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a schema-valid trajectory."""
+    if not isinstance(doc, dict):
+        raise ValueError("trajectory must be a JSON object")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported trajectory schema {doc.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    if not isinstance(doc.get("scenario"), str):
+        raise ValueError("trajectory missing scenario name")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError("trajectory runs must be a list")
+    for run in runs:
+        validate_run(run)
+        if run["scenario"] != doc["scenario"]:
+            raise ValueError(
+                f"trajectory for {doc['scenario']!r} contains a run for "
+                f"{run['scenario']!r}"
+            )
+
+
+def load_trajectory(path: Union[str, Path]) -> Dict:
+    """Read and validate one ``BENCH_*.json`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_trajectory(doc)
+    return doc
+
+
+def write_trajectory(path: Union[str, Path], doc: Dict) -> None:
+    """Atomically persist a trajectory (temp file + rename)."""
+    validate_trajectory(doc)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def append_run(path: Union[str, Path], run: Dict) -> Dict:
+    """Append one bench run to a trajectory file, creating it if absent.
+
+    Returns the updated trajectory document.  The write is atomic, so a
+    killed bench never leaves a torn trajectory.
+    """
+    validate_run(run)
+    path = Path(path)
+    doc = load_trajectory(path) if path.exists() else new_trajectory(run["scenario"])
+    if doc["scenario"] != run["scenario"]:
+        raise ValueError(
+            f"trajectory {path} records scenario {doc['scenario']!r}, "
+            f"not {run['scenario']!r}"
+        )
+    doc["runs"].append(run)
+    write_trajectory(path, doc)
+    return doc
+
+
+def latest_run(doc: Dict) -> Dict:
+    """The most recent run of a trajectory (``ValueError`` when empty)."""
+    if not doc.get("runs"):
+        raise ValueError(f"trajectory for {doc.get('scenario')!r} has no runs")
+    return doc["runs"][-1]
+
+
+# ----------------------------------------------------------------------
+# Comparison against a baseline
+# ----------------------------------------------------------------------
+@dataclass
+class MetricDelta:
+    """One compared metric of a baseline/candidate pair."""
+
+    metric: str
+    baseline: float
+    current: float
+    change_frac: float        #: (current - baseline) / baseline, signed
+    tolerance: float          #: allowed fractional change in the worse direction
+    direction: int            #: +1 higher-is-worse, -1 lower-is-worse
+    regressed: bool
+
+
+@dataclass
+class CompareResult:
+    """Everything ``bench --compare`` decides from."""
+
+    deltas: List[MetricDelta]
+    drift: bool               #: same spec, different reduced rows
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drift and not self.regressions
+
+
+def comparable_metrics(run: Dict) -> Dict[str, float]:
+    """The flat metric view :func:`compare_runs` bands over."""
+    metrics = {
+        "wall_s": float(run["wall_s"]),
+        "events_per_s": float(run["throughput"]["events_per_s"]),
+        "messages_per_s": float(run["throughput"]["messages_per_s"]),
+    }
+    mem = run.get("memory")
+    if mem:
+        if mem.get("peak_rss_kb") is not None:
+            metrics["peak_rss_kb"] = float(mem["peak_rss_kb"])
+        metrics["tracemalloc_peak_kb"] = float(mem["tracemalloc_peak_kb"])
+    return metrics
+
+
+def _same_spec(current: Dict, baseline: Dict) -> bool:
+    return all(
+        current.get(k) == baseline.get(k)
+        for k in ("scenario", "seed", "scale", "trials")
+    )
+
+
+def compare_runs(
+    current: Dict,
+    baseline: Dict,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> CompareResult:
+    """Band every shared metric of ``current`` against ``baseline``.
+
+    A metric regresses when its fractional change in the worse direction
+    (:data:`METRIC_DIRECTIONS`) exceeds its tolerance
+    (:data:`DEFAULT_TOLERANCES`, overridable per metric).  Memory metrics
+    are only compared when both runs collected them under the same
+    ``memory_profiling`` setting — tracemalloc distorts wall time, so a
+    mixed pair would not be apples to apples (a note records the skip).
+    Identical specs (scenario/seed/scale/trials) must also reproduce the
+    same reduced rows; a ``rows_sha256`` mismatch is flagged as *drift*,
+    which fails the comparison outright.
+    """
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    notes: List[str] = []
+
+    cur = comparable_metrics(current)
+    base = comparable_metrics(baseline)
+    if current.get("memory_profiling") != baseline.get("memory_profiling"):
+        for name in ("peak_rss_kb", "tracemalloc_peak_kb"):
+            cur.pop(name, None)
+            base.pop(name, None)
+        notes.append(
+            "memory profiling setting differs between runs; wall time and "
+            "memory metrics not compared like-for-like"
+        )
+        cur.pop("wall_s", None)
+
+    deltas: List[MetricDelta] = []
+    for metric in sorted(set(cur) & set(base)):
+        b, c = base[metric], cur[metric]
+        if b == 0:
+            change = 0.0 if c == 0 else float("inf")
+        else:
+            change = (c - b) / b
+        direction = METRIC_DIRECTIONS.get(metric, 1)
+        t = tol.get(metric, 0.25)
+        deltas.append(
+            MetricDelta(
+                metric=metric,
+                baseline=b,
+                current=c,
+                change_frac=change,
+                tolerance=t,
+                direction=direction,
+                regressed=direction * change > t,
+            )
+        )
+    for metric in sorted(set(base) - set(cur)):
+        notes.append(f"baseline metric {metric!r} absent from current run")
+
+    drift = False
+    if _same_spec(current, baseline):
+        b_rows, c_rows = baseline.get("rows_sha256"), current.get("rows_sha256")
+        if b_rows and c_rows and b_rows != c_rows:
+            drift = True
+            notes.append(
+                "reduced rows differ for an identical spec "
+                f"({b_rows[:12]}… → {c_rows[:12]}…): result drift"
+            )
+    else:
+        notes.append(
+            "spec differs (scenario/seed/scale/trials); rows not compared"
+        )
+    return CompareResult(deltas=deltas, drift=drift, notes=notes)

@@ -157,3 +157,164 @@ class TestTraceReport:
             main(["fig8", "--audit"])
         with pytest.raises(SystemExit):
             main(["fig8", "extra-positional"])
+
+
+class TestStrictCacheFlag:
+    def test_strict_cache_requires_resume(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--strict-cache"])
+        with pytest.raises(SystemExit):
+            main(["fig8", "--cache-dir", "x", "--strict-cache"])
+
+    def test_strict_cache_recomputes_stale_entries(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        one, two = tmp_path / "a.csv", tmp_path / "b.csv"
+        argv = ["fig8", "--scale", "0.02", "--seed", "1",
+                "--cache-dir", str(cache)]
+        assert main(argv + ["--csv", str(one)]) == 0
+
+        # Age every cached entry, as if an older build had written it.
+        for path in (cache / "fig8").glob("*.json"):
+            entry = json.loads(path.read_text())
+            entry["meta"] = {"repro_version": "0.0.0", "code_hash": "old"}
+            path.write_text(json.dumps(entry))
+
+        assert main(argv + ["--resume", "--strict-cache",
+                            "--csv", str(two)]) == 0
+        assert one.read_text() == two.read_text()
+        # The strict pass rewrote the entries with current provenance.
+        from repro import __version__
+
+        entry = json.loads(next((cache / "fig8").glob("*.json")).read_text())
+        assert entry["meta"]["repro_version"] == __version__
+
+
+BENCH_ARGS = ["bench", "--scenario", "fig8", "--scale", "0.1",
+              "--seed", "1", "--no-memory"]
+
+
+class TestBench:
+    def test_bench_writes_schema_valid_trajectory(self, tmp_path, capsys):
+        from repro.obs.perf import latest_run, load_trajectory
+
+        out = tmp_path / "BENCH_fig8.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out)]) == 0
+        doc = load_trajectory(out)  # validates the schema
+        run = latest_run(doc)
+        assert run["scenario"] == "fig8"
+        assert run["seed"] == 1 and run["scale"] == 0.1
+        assert run["memory_profiling"] is False
+        assert run["rows_sha256"]
+        assert "bench fig8" in capsys.readouterr().out
+
+    def test_bench_appends_to_existing_trajectory(self, tmp_path, capsys):
+        from repro.obs.perf import load_trajectory
+
+        out = tmp_path / "BENCH_fig8.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out)]) == 0
+        assert main(BENCH_ARGS + ["--bench-out", str(out)]) == 0
+        assert len(load_trajectory(out)["runs"]) == 2
+
+    def test_compare_ok_against_own_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fig8.json"
+        base = tmp_path / "base.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out),
+                                  "--compare", str(base),
+                                  "--update-baseline"]) == 0
+        assert base.exists()
+        capsys.readouterr()
+        assert main(BENCH_ARGS + ["--bench-out", str(out),
+                                  "--compare", str(base),
+                                  "--tolerance", "wall_s=10.0"]) == 0
+        assert "bench compare: OK" in capsys.readouterr().err
+
+    def test_compare_fails_on_injected_wall_regression(self, tmp_path, capsys):
+        # The acceptance bar: a doctored baseline that makes this run look
+        # >=20% slower must exit non-zero under the default 15% band.
+        out = tmp_path / "BENCH_fig8.json"
+        base = tmp_path / "base.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out),
+                                  "--compare", str(base),
+                                  "--update-baseline"]) == 0
+        doc = json.loads(base.read_text())
+        doc["runs"][-1]["wall_s"] /= 10.0
+        base.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(BENCH_ARGS + ["--bench-out", str(out),
+                                  "--compare", str(base)]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSED" in err and "wall_s" in err
+
+    def test_compare_fails_on_row_drift(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fig8.json"
+        base = tmp_path / "base.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out),
+                                  "--compare", str(base),
+                                  "--update-baseline"]) == 0
+        doc = json.loads(base.read_text())
+        doc["runs"][-1]["rows_sha256"] = "0" * 64
+        base.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert main(BENCH_ARGS + ["--bench-out", str(out),
+                                  "--compare", str(base),
+                                  "--tolerance", "wall_s=100.0"]) == 1
+        assert "row drift" in capsys.readouterr().err
+
+    def test_profile_prints_cumulative_table(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fig8.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out), "--profile"]) == 0
+        assert "profile (top cumulative time)" in capsys.readouterr().out
+
+    def test_bench_needs_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["bench"])
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["bench", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--tolerance", "wall_s"])
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--tolerance", "wall_s=abc"])
+
+    def test_bench_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--scenario", "fig8"])
+        with pytest.raises(SystemExit):
+            main(["fig8", "--profile"])
+
+    def test_bench_rejects_sweep_io_flags(self):
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--cache-dir", "x"])
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--csv", "x.csv"])
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--trace-out", "t.jsonl"])
+
+
+class TestBenchReport:
+    def test_renders_trajectory_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fig8.json"
+        assert main(BENCH_ARGS + ["--bench-out", str(out)]) == 0
+        assert main(BENCH_ARGS + ["--bench-out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["bench-report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "bench trajectory: fig8 (2 run(s))" in text
+        assert "phase deltas" in text
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench-report"])
+
+    def test_unreadable_target_is_error(self, tmp_path, capsys):
+        assert main(["bench-report", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_trajectory_is_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "wrong", "runs": []}))
+        assert main(["bench-report", str(bad)]) == 2
+        assert "invalid trajectory" in capsys.readouterr().err

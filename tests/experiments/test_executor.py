@@ -112,8 +112,112 @@ class TestResultCache:
         entries = list((tmp_path / "fig4").glob("*.json"))
         assert len(entries) == len(sweep.trials)
         entry = json.loads(entries[0].read_text())
-        assert set(entry) == {"key", "spec", "result"}
+        assert set(entry) == {"key", "spec", "result", "meta"}
         assert entry["spec"]["fn"].startswith("repro.experiments.scenarios.")
+
+    def test_cache_files_carry_provenance_meta(self, tmp_path):
+        from repro import __version__
+        from repro.provenance import code_fingerprint
+
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        run_sweep(sweep, cache=cache)
+        entry = json.loads(
+            next((tmp_path / "fig4").glob("*.json")).read_text()
+        )
+        assert entry["meta"] == {
+            "repro_version": __version__,
+            "code_hash": code_fingerprint(),
+        }
+
+
+class TestStaleCache:
+    """Cached trials written by a different code state: reused with a
+    warning by default, recomputed under ``strict=True``."""
+
+    def _age_entries(self, cache, sweep):
+        """Rewrite every cached entry as if an older build produced it."""
+        n = 0
+        for t in sweep.trials:
+            path = cache.path(sweep.name, trial_key(sweep, t))
+            entry = json.loads(path.read_text())
+            entry["meta"] = {"repro_version": "0.0.0", "code_hash": "f" * 12}
+            path.write_text(json.dumps(entry))
+            n += 1
+        return n
+
+    def test_stale_entries_reused_with_warning(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        full = run_sweep(sweep, cache=cache)
+        self._age_entries(cache, sweep)
+
+        rec = RecordingExecutor()
+        with caplog.at_level("WARNING", logger="repro.experiments.executor"):
+            again = run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                              executor=rec, cache=cache, resume=True)
+        assert rec.ran == []  # still served from cache
+        assert json.dumps(full, sort_keys=True) == json.dumps(again, sort_keys=True)
+        assert any("predate the current code" in r.message for r in caplog.records)
+
+    def test_fresh_entries_do_not_warn(self, tmp_path, caplog):
+        cache = ResultCache(tmp_path)
+        run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW), cache=cache)
+        with caplog.at_level("WARNING", logger="repro.experiments.executor"):
+            run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                      executor=RecordingExecutor(), cache=cache, resume=True)
+        assert not any("predate" in r.message for r in caplog.records)
+
+    def test_strict_cache_recomputes_stale_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        full = run_sweep(sweep, cache=cache)
+        n = self._age_entries(cache, sweep)
+
+        strict = ResultCache(tmp_path, strict=True)
+        rec = RecordingExecutor()
+        again = run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                          executor=rec, cache=strict, resume=True)
+        assert len(rec.ran) == n  # every stale entry re-ran
+        assert json.dumps(full, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_strict_recompute_refreshes_meta(self, tmp_path):
+        # After a strict re-run the entries carry current provenance, so
+        # the next strict resume is a pure cache read again.
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        run_sweep(sweep, cache=cache)
+        self._age_entries(cache, sweep)
+
+        strict = ResultCache(tmp_path, strict=True)
+        run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                  cache=strict, resume=True)
+        rec = RecordingExecutor()
+        run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                  executor=rec, cache=strict, resume=True)
+        assert rec.ran == []
+
+    def test_pre_upgrade_entries_count_as_stale(self, tmp_path):
+        # Entries written before meta existed have no provenance at all.
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        run_sweep(sweep, cache=cache)
+        for t in sweep.trials:
+            path = cache.path(sweep.name, trial_key(sweep, t))
+            entry = json.loads(path.read_text())
+            del entry["meta"]
+            path.write_text(json.dumps(entry))
+
+        _, stale = cache.load_checked(
+            sweep.name, trial_key(sweep, sweep.trials[0])
+        )
+        assert stale
+
+        strict = ResultCache(tmp_path, strict=True)
+        rec = RecordingExecutor()
+        run_sweep(scenarios.fig4_spec(seed=1, **FIG4_KW),
+                  executor=rec, cache=strict, resume=True)
+        assert len(rec.ran) == len(sweep.trials)
 
 
 class TestTelemetryMerge:
@@ -165,6 +269,21 @@ class TestTelemetryMerge:
             )
         assert tel.phases.calls("fig4/converge") > 0
         assert tel.phases.calls("fig4/measure") > 0
+
+    def test_parallel_phase_tree_matches_serial(self):
+        # Worker snapshots folded into the parent must reproduce the
+        # serial phase tree: same paths, same call counts (wall times
+        # differ — workers time concurrently).
+        def phase_tree(executor=None):
+            tel = obs.Telemetry()
+            with obs.scope(tel), tel.phase("fig4"):
+                scenarios.fig4_friends_vs_sw(seed=1, executor=executor, **FIG4_KW)
+            return {path: d["calls"] for path, d in tel.phases.to_dict().items()}
+
+        ser = phase_tree()
+        par = phase_tree(executor=ParallelExecutor(2))
+        assert ser == par
+        assert any(path.startswith("fig4/") for path in ser)
 
     def test_trials_total_counters(self, tmp_path):
         tel = obs.Telemetry()

@@ -92,6 +92,49 @@ class TestAggregates:
         trees = [tree_of(two_branch_event())]
         assert len(relay_hotspots(trees, n=1)) == 1
 
+    def test_relay_hotspots_ties_break_by_address(self):
+        # One relay span forwarded by each of 9, 2 and 5 — all tied at 1.
+        # The ordering must be by address, independent of span id / trace
+        # insertion order, so --hotspots output is CI-fixture stable.
+        events = [
+            span("e0", 0, "publish", 0, 0, 0, subs=1),
+            span("e0", 1, "relay", 9, 1, 1, parent=0),
+            span("e0", 2, "relay", 2, 3, 1, parent=0),
+            span("e0", 3, "relay", 5, 4, 1, parent=0),
+        ]
+        assert relay_hotspots([tree_of(events)]) == [(2, 1), (5, 1), (9, 1)]
+
+        permuted = [
+            span("e0", 0, "publish", 0, 0, 0, subs=1),
+            span("e0", 1, "relay", 5, 4, 1, parent=0),
+            span("e0", 2, "relay", 9, 1, 1, parent=0),
+            span("e0", 3, "relay", 2, 3, 1, parent=0),
+        ]
+        assert relay_hotspots([tree_of(permuted)]) == \
+            relay_hotspots([tree_of(events)])
+
+    def test_relay_hotspots_render_is_fixture_stable(self):
+        # The exact table trace-report prints for a tied trace — locked
+        # down so CI can diff rendered hotspot output verbatim.
+        from repro.experiments.reporting import format_table
+
+        events = [
+            span("e0", 0, "publish", 0, 0, 0, subs=1),
+            span("e0", 1, "relay", 9, 1, 1, parent=0),
+            span("e0", 2, "relay", 2, 3, 1, parent=0),
+            span("e0", 3, "rendezvous", 2, 4, 2, parent=2),
+        ]
+        rows = [{"address": a, "relayed": c}
+                for a, c in relay_hotspots([tree_of(events)])]
+        text = format_table(rows, title="relay hotspots")
+        assert text.splitlines() == [
+            "relay hotspots",
+            "address  relayed",
+            "-------  -------",
+            "2        2      ",
+            "9        1      ",
+        ]
+
 
 class TestEnvelope:
     def test_within_bound(self):

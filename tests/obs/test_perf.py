@@ -1,0 +1,327 @@
+"""Tests for the perf bench harness, the BENCH_*.json trajectory, and
+the tolerance-band baseline comparison."""
+
+import copy
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import perf
+from repro.obs.perf import (
+    BENCH_SCHEMA,
+    BenchHarness,
+    append_run,
+    bench_path,
+    collect_callable,
+    compare_runs,
+    latest_run,
+    load_trajectory,
+    new_trajectory,
+    rows_fingerprint,
+    validate_run,
+    validate_trajectory,
+    write_trajectory,
+)
+
+
+def fake_run(**over):
+    """A minimal schema-valid bench run for trajectory/compare tests."""
+    run = {
+        "scenario": "fig8",
+        "wall_s": 10.0,
+        "memory_profiling": True,
+        "phases": {"fig8": {"calls": 1, "total_s": 10.0}},
+        "counters": {"engine_events_total": 1000.0},
+        "throughput": {"events_per_s": 100.0, "messages_per_s": 200.0},
+        "memory": {"tracemalloc_peak_kb": 512.0, "peak_rss_kb": 4096.0},
+        "provenance": {
+            "git_sha": "a" * 40,
+            "code_hash": "b" * 12,
+            "python": "3.11.0",
+            "cpu_count": 1,
+            "timestamp": "2026-01-01T00:00:00Z",
+        },
+        "seed": 1,
+        "scale": 0.1,
+        "jobs": 1,
+        "trials": 1,
+        "rows": 5,
+        "rows_sha256": "c" * 64,
+    }
+    out = copy.deepcopy(run)
+    out.update(copy.deepcopy(over))
+    return out
+
+
+class TestCollectCallable:
+    def instrumented_job(self):
+        tel = obs.current()
+        with tel.phase("work"):
+            tel.metrics.counter("engine_events_total").inc(50)
+            tel.metrics.counter("delivery_msgs_total", system="vitis").inc(10)
+            tel.metrics.counter("delivery_msgs_total", system="rvr").inc(5)
+        return [1, 2]
+
+    def test_collects_counters_phases_and_provenance(self):
+        collected = collect_callable("bench", self.instrumented_job)
+        run = collected.run
+        assert collected.result == [1, 2]
+        assert run["scenario"] == "bench"
+        assert run["wall_s"] > 0
+        # Counters summed across label sets, keyed by bare name.
+        assert run["counters"]["engine_events_total"] == 50
+        assert run["counters"]["delivery_msgs_total"] == 15
+        # The callable ran inside the named phase.
+        assert run["phases"]["bench"]["calls"] == 1
+        assert run["phases"]["bench/work"]["calls"] == 1
+        assert run["throughput"]["events_per_s"] > 0
+        assert run["throughput"]["messages_per_s"] > 0
+        for key in ("code_hash", "python", "cpu_count", "repro_version"):
+            assert key in run["provenance"], key
+        validate_run(run)
+
+    def test_memory_block_present_by_default(self):
+        run = collect_callable("bench", self.instrumented_job).run
+        assert run["memory_profiling"] is True
+        assert run["memory"]["tracemalloc_peak_kb"] > 0
+        assert isinstance(run["memory"]["top_allocators"], list)
+
+    def test_no_memory_skips_tracemalloc(self):
+        run = collect_callable(
+            "bench", self.instrumented_job, memory=False
+        ).run
+        assert run["memory_profiling"] is False
+        assert run["memory"] is None
+        validate_run(run)
+
+    def test_profile_rows_ordered_by_cumulative_time(self):
+        collected = collect_callable(
+            "bench", self.instrumented_job, profile=True
+        )
+        rows = collected.profile_rows(top=10)
+        assert rows, "profiling produced no rows"
+        cums = [r["cumtime_s"] for r in rows]
+        assert cums == sorted(cums, reverse=True)
+        assert all({"function", "calls", "tottime_s", "cumtime_s"} <= set(r)
+                   for r in rows)
+
+    def test_no_profile_means_no_rows(self):
+        collected = collect_callable("bench", self.instrumented_job)
+        assert collected.profile is None
+        assert collected.profile_rows() == []
+
+
+class TestRowsFingerprint:
+    def test_stable_and_value_sensitive(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.5}]
+        same = [{"b": 2.5, "a": 1}, {"b": 3.5, "a": 2}]  # key order differs
+        assert rows_fingerprint(rows) == rows_fingerprint(same)
+        changed = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.6}]
+        assert rows_fingerprint(rows) != rows_fingerprint(changed)
+
+    def test_row_order_matters(self):
+        rows = [{"a": 1}, {"a": 2}]
+        assert rows_fingerprint(rows) != rows_fingerprint(list(reversed(rows)))
+
+
+class TestBenchHarness:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            BenchHarness("nope")
+
+    def test_fig8_run_is_schema_valid(self):
+        harness = BenchHarness("fig8", seed=1, scale=0.1, memory=False)
+        run = harness.run()
+        validate_run(run)
+        assert run["scenario"] == "fig8"
+        assert run["seed"] == 1 and run["scale"] == 0.1 and run["jobs"] == 1
+        assert run["trials"] == 1
+        assert run["rows"] > 0
+        assert len(run["rows_sha256"]) == 64
+        assert run["counters"]["trials_total"] == 1
+
+    def test_same_spec_reproduces_rows_sha(self):
+        # The determinism contract, surfaced through the bench record.
+        first = BenchHarness("fig8", seed=1, scale=0.1, memory=False).run()
+        second = BenchHarness("fig8", seed=1, scale=0.1, memory=False).run()
+        assert first["rows_sha256"] == second["rows_sha256"]
+        other = BenchHarness("fig8", seed=2, scale=0.1, memory=False).run()
+        assert other["rows_sha256"] != first["rows_sha256"]
+
+
+class TestTrajectoryIO:
+    def test_append_creates_then_appends(self, tmp_path):
+        path = tmp_path / "BENCH_fig8.json"
+        doc = append_run(path, fake_run())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert len(doc["runs"]) == 1
+        doc = append_run(path, fake_run(wall_s=11.0))
+        assert len(doc["runs"]) == 2
+        on_disk = load_trajectory(path)
+        assert on_disk == doc
+        assert latest_run(on_disk)["wall_s"] == 11.0
+
+    def test_append_rejects_scenario_mismatch(self, tmp_path):
+        path = tmp_path / "BENCH_fig8.json"
+        append_run(path, fake_run())
+        with pytest.raises(ValueError):
+            append_run(path, fake_run(scenario="fig4"))
+
+    def test_validate_run_rejects_missing_fields(self):
+        for key in ("scenario", "wall_s", "phases", "counters",
+                    "throughput", "provenance"):
+            run = fake_run()
+            del run[key]
+            with pytest.raises(ValueError):
+                validate_run(run)
+        run = fake_run()
+        del run["provenance"]["code_hash"]
+        with pytest.raises(ValueError):
+            validate_run(run)
+
+    def test_validate_trajectory_rejects_bad_schema(self):
+        doc = new_trajectory("fig8")
+        doc["schema"] = "something/else"
+        with pytest.raises(ValueError):
+            validate_trajectory(doc)
+
+    def test_validate_trajectory_rejects_foreign_run(self):
+        doc = new_trajectory("fig8")
+        doc["runs"].append(fake_run(scenario="fig4"))
+        with pytest.raises(ValueError):
+            validate_trajectory(doc)
+
+    def test_latest_run_on_empty_trajectory(self):
+        with pytest.raises(ValueError):
+            latest_run(new_trajectory("fig8"))
+
+    def test_write_is_parseable_json_with_trailing_newline(self, tmp_path):
+        path = tmp_path / "BENCH_fig8.json"
+        doc = new_trajectory("fig8")
+        doc["runs"].append(fake_run())
+        write_trajectory(path, doc)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == doc
+
+    def test_bench_path_defaults_to_repo_root(self):
+        from repro.provenance import repo_root
+
+        assert bench_path("fig8") == repo_root() / "BENCH_fig8.json"
+
+
+class TestCompareRuns:
+    def test_identical_runs_ok(self):
+        result = compare_runs(fake_run(), fake_run())
+        assert result.ok
+        assert not result.regressions
+        assert not result.drift
+        metrics = {d.metric for d in result.deltas}
+        assert {"wall_s", "events_per_s", "messages_per_s",
+                "peak_rss_kb", "tracemalloc_peak_kb"} <= metrics
+
+    def test_twenty_pct_wall_regression_trips_default_band(self):
+        # The acceptance bar: an injected >=20% wall-time regression must
+        # fail the default 15% band.
+        result = compare_runs(fake_run(wall_s=12.0), fake_run(wall_s=10.0))
+        assert not result.ok
+        assert [d.metric for d in result.regressions] == ["wall_s"]
+
+    def test_change_at_tolerance_is_not_a_regression(self):
+        result = compare_runs(fake_run(wall_s=11.5), fake_run(wall_s=10.0))
+        assert result.ok  # exactly 15%: band is strict-greater
+
+    def test_direction_lower_throughput_is_worse(self):
+        run = fake_run()
+        run["throughput"]["events_per_s"] = 70.0  # -30%
+        assert not compare_runs(run, fake_run()).ok
+        faster = fake_run()
+        faster["throughput"]["events_per_s"] = 200.0  # +100%: an improvement
+        assert compare_runs(faster, fake_run()).ok
+
+    def test_faster_wall_is_not_a_regression(self):
+        assert compare_runs(fake_run(wall_s=1.0), fake_run(wall_s=10.0)).ok
+
+    def test_tolerance_override(self):
+        result = compare_runs(
+            fake_run(wall_s=30.0), fake_run(wall_s=10.0),
+            tolerances={"wall_s": 5.0},
+        )
+        assert result.ok
+
+    def test_same_spec_row_drift_fails(self):
+        result = compare_runs(fake_run(rows_sha256="d" * 64), fake_run())
+        assert result.drift
+        assert not result.ok
+        assert any("drift" in note for note in result.notes)
+
+    def test_different_spec_skips_row_comparison(self):
+        result = compare_runs(fake_run(seed=2, rows_sha256="d" * 64), fake_run())
+        assert not result.drift
+        assert any("spec differs" in note for note in result.notes)
+
+    def test_memory_profiling_mismatch_drops_distorted_metrics(self):
+        current = fake_run(memory_profiling=False, memory=None)
+        result = compare_runs(current, fake_run())
+        compared = {d.metric for d in result.deltas}
+        assert "wall_s" not in compared  # tracemalloc distorts wall time
+        assert "tracemalloc_peak_kb" not in compared
+        assert "peak_rss_kb" not in compared
+        assert {"events_per_s", "messages_per_s"} <= compared
+        assert any("memory profiling" in note for note in result.notes)
+
+    def test_zero_baseline_metric(self):
+        base = fake_run()
+        base["throughput"]["events_per_s"] = 0.0
+        cur = fake_run()
+        cur["throughput"]["events_per_s"] = 0.0
+        assert compare_runs(cur, base).ok  # 0 -> 0 is no change
+
+
+class TestBenchRenderers:
+    def test_summary_and_phase_rows(self):
+        from repro.obs.report import bench_phase_rows, bench_summary_rows
+
+        run = fake_run()
+        summary = {r["metric"]: r["value"] for r in bench_summary_rows(run)}
+        assert summary["wall_s"] == 10.0
+        assert summary["tracemalloc_peak_kb"] == 512.0
+        phases = bench_phase_rows(run)
+        assert phases == [{"phase": "fig8", "calls": 1, "total_s": 10.0}]
+
+    def test_phase_deltas_need_two_runs(self):
+        from repro.obs.report import bench_phase_delta_rows
+
+        doc = new_trajectory("fig8")
+        doc["runs"].append(fake_run())
+        assert bench_phase_delta_rows(doc) == []
+        second = fake_run(wall_s=5.0)
+        second["phases"]["fig8"]["total_s"] = 5.0
+        doc["runs"].append(second)
+        (row,) = bench_phase_delta_rows(doc)
+        assert row["phase"] == "fig8"
+        assert row["delta_pct"] == -50.0
+        assert row["since_first_pct"] == -50.0
+
+    def test_compare_rows_flag_regressions_and_drift(self):
+        from repro.obs.report import bench_compare_rows
+
+        result = compare_runs(
+            fake_run(wall_s=20.0, rows_sha256="d" * 64), fake_run()
+        )
+        rows = {r["metric"]: r for r in bench_compare_rows(result)}
+        assert rows["wall_s"]["status"] == "REGRESSED"
+        assert rows["events_per_s"]["status"] == "ok"
+        assert rows["rows_sha256"]["status"] == "DRIFT"
+
+    def test_bench_report_renders(self):
+        from repro.obs.report import bench_report
+
+        doc = new_trajectory("fig8")
+        doc["runs"].append(fake_run())
+        doc["runs"].append(fake_run(wall_s=12.0))
+        text = bench_report(doc)
+        assert "bench trajectory: fig8 (2 run(s))" in text
+        assert "phase deltas" in text
+        assert "memory_profiling=True" in text

@@ -78,3 +78,111 @@ class TestPhaseTimer:
         with pt.phase("p"):
             pass
         assert pt.to_dict() == {"p": {"calls": 1, "total_s": 2.0}}
+
+
+class TestMerge:
+    """Snapshot/merge — the worker-to-parent fold ``ParallelExecutor``
+    relies on (see ``test_executor.py`` for the end-to-end check)."""
+
+    def test_merge_sums_totals_and_calls(self):
+        parent = make_timer([0.0, 1.0])
+        with parent.phase("converge"):
+            pass
+        parent.merge({"totals": {"converge": 2.5}, "calls": {"converge": 3}})
+        assert parent.total("converge") == 3.5
+        assert parent.calls("converge") == 4
+
+    def test_prefix_nests_worker_paths(self):
+        # A worker's 'converge' lands under the parent's 'fig4', exactly
+        # where a serial run would have recorded it.
+        parent = PhaseTimer()
+        parent.merge(
+            {"totals": {"converge": 2.0}, "calls": {"converge": 1}},
+            prefix="fig4",
+        )
+        assert parent.total("fig4/converge") == 2.0
+        assert parent.calls("fig4/converge") == 1
+        assert parent.total("converge") == 0.0
+
+    def test_prefix_preserves_nested_worker_subpaths(self):
+        # Workers nest internally too: 'converge/probe' must become
+        # 'fig4/converge/probe', not flatten.
+        parent = PhaseTimer()
+        parent.merge(
+            {
+                "totals": {"converge": 5.0, "converge/probe": 2.0},
+                "calls": {"converge": 1, "converge/probe": 4},
+            },
+            prefix="fig4",
+        )
+        assert parent.total("fig4/converge") == 5.0
+        assert parent.total("fig4/converge/probe") == 2.0
+        assert parent.calls("fig4/converge/probe") == 4
+
+    def test_worker_snapshots_fold_to_serial_totals(self):
+        # Run two 'trials' serially on one timer, then the same trials on
+        # two separate 'worker' timers merged into a fresh parent: paths,
+        # totals and call counts must match exactly.
+        def run_trial(pt, t0):
+            # build: t0..t0+1; converge: t0+1..t0+4; trial: t0..t0+6
+            times = [t0, t0, t0 + 1.0, t0 + 1.0, t0 + 4.0, t0 + 6.0]
+            it = iter(times)
+            pt._clock = lambda: next(it)
+            with pt.phase("trial"):
+                with pt.phase("build"):
+                    pass
+                with pt.phase("converge"):
+                    pass
+
+        serial = PhaseTimer()
+        for t0 in (0.0, 100.0):
+            run_trial(serial, t0)
+
+        workers = []
+        for t0 in (0.0, 100.0):
+            w = PhaseTimer()
+            run_trial(w, t0)
+            workers.append(w.snapshot())
+
+        parent = PhaseTimer()
+        for snap in workers:
+            parent.merge(snap)
+
+        assert parent.to_dict() == serial.to_dict()
+        assert parent.calls("trial") == 2
+        assert parent.total("trial/converge") == serial.total("trial/converge")
+
+    def test_merge_does_not_fire_on_exit(self):
+        # Merged entries were already reported in the worker; re-firing
+        # would double-count trace events.
+        seen = []
+        parent = PhaseTimer()
+        parent.on_exit = lambda path, dur: seen.append((path, dur))
+        parent.merge({"totals": {"p": 1.0}, "calls": {"p": 1}})
+        assert seen == []
+        assert parent.total("p") == 1.0
+
+    def test_missing_calls_default_to_one(self):
+        parent = PhaseTimer()
+        parent.merge({"totals": {"p": 1.0}, "calls": {}})
+        assert parent.calls("p") == 1
+
+    def test_merge_into_open_phase_via_telemetry(self):
+        # Telemetry.merge_snapshot prefixes with the parent's *currently
+        # open* path — a worker snapshot folded while 'fig4' is open nests
+        # under 'fig4/'.
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        with telemetry.phase("fig4"):
+            telemetry.merge_snapshot(
+                {
+                    "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+                    "phases": {
+                        "totals": {"converge": 2.0},
+                        "calls": {"converge": 1},
+                    },
+                }
+            )
+        assert telemetry.phases.total("fig4/converge") == 2.0
+        assert telemetry.phases.calls("fig4/converge") == 1

@@ -188,6 +188,33 @@ class TestPerAddressAccounting:
                           "shed": 0, "sent": 0}
         assert top[1]["shed"] == 3
 
+    def test_hotspots_ties_break_by_address(self):
+        # Equal inbound load must order by ascending address regardless
+        # of accounting order, so rendered hotspot tables are usable as
+        # CI fixtures.
+        _, net = make_net()
+        for dst in (7, 3, 5):  # deliberately unsorted insertion order
+            net.account_logical(0, dst, "notify", delivered=True)
+            net.account_logical(1, dst, "notify", delivered=True)
+        assert [h["address"] for h in net.hotspots()] == [3, 5, 7]
+
+        # A permuted accounting order yields the identical table.
+        _, other = make_net()
+        for dst in (5, 7, 3):
+            other.account_logical(1, dst, "notify", delivered=True)
+            other.account_logical(0, dst, "notify", delivered=True)
+        assert other.hotspots() == net.hotspots()
+
+    def test_hotspots_mixed_load_and_ties(self):
+        _, net = make_net()
+        for _ in range(2):
+            net.account_logical(0, 9, "notify", delivered=True)
+            net.account_logical(0, 2, "notify", delivered=False)
+        net.account_logical(0, 4, "notify", delivered=True)
+        # 9 and 2 tie at 2; 4 trails with 1.
+        assert [(h["address"], h["inbound"]) for h in net.hotspots()] == \
+            [(2, 2), (9, 2), (4, 1)]
+
     def test_reset_traffic_clears_the_new_tallies(self):
         _, net = make_net()
         net.account_logical(0, 1, "notify", delivered=False)
