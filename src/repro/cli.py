@@ -38,12 +38,22 @@ Telemetry flags (see ``docs/observability.md``):
 With none of these flags the no-op telemetry backend is used and the run
 is unaffected.
 
-Fault injection (see ``docs/robustness.md``) — ``fault_sweep`` only:
+Fault injection (see ``docs/robustness.md``) — ``fault_sweep`` and
+``chaos_sweep``:
 
 - ``--loss-rate P`` (repeatable) — i.i.d. message-loss probabilities;
-- ``--partition CYCLES`` (repeatable) — partition durations to sweep;
+- ``--partition CYCLES`` (repeatable) — partition durations to sweep
+  (``fault_sweep`` only);
 - ``--fault-seed N`` — replayable fault randomness, independent of
   ``--seed``.
+
+Failure detection (see ``docs/robustness.md``) — ``chaos_sweep`` only:
+
+- ``--detector NAME`` (repeatable) — liveness sources to compare
+  (``swim`` and/or ``heartbeat``);
+- ``--suspicion-timeout F`` — SWIM suspicion timeout as a multiple of
+  log₂ N cycles (``DetectorConfig.suspicion_base``);
+- ``--probe-fanout K`` — indirect-probe proxies per missed direct probe.
 
 Overload (see ``docs/robustness.md``) — ``overload_sweep`` only:
 
@@ -199,6 +209,23 @@ def main(argv: List[str] | None = None) -> int:
              f"({', '.join(_SHED_POLICIES)})",
     )
     parser.add_argument(
+        "--detector", action="append", metavar="NAME", dest="detectors",
+        choices=("swim", "heartbeat"),
+        help="chaos_sweep only: liveness source to compare "
+             "(repeatable; swim, heartbeat)",
+    )
+    parser.add_argument(
+        "--suspicion-timeout", type=float, metavar="F",
+        dest="suspicion_base",
+        help="chaos_sweep only: SWIM suspicion timeout as a multiple of "
+             "log2(N) cycles (default 0.5)",
+    )
+    parser.add_argument(
+        "--probe-fanout", type=int, metavar="K", dest="probe_fanout",
+        help="chaos_sweep only: indirect-probe proxies asked per missed "
+             "direct probe (default 3)",
+    )
+    parser.add_argument(
         "--audit", action="store_true",
         help="trace-report only: exit non-zero on unexplained misses, "
              "incomplete span trees, or a violated O(log² N + d) envelope",
@@ -271,10 +298,19 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("bench runs fresh trials under its own telemetry; "
                      "--cache-dir/--resume/--csv/--trace-out/--metrics-out "
                      "do not apply to the bench command")
-    fault_flags = args.loss_rates or args.partitions or args.fault_seed is not None
-    if fault_flags and args.command != "fault_sweep":
-        parser.error("--loss-rate/--partition/--fault-seed only apply to "
-                     "the fault_sweep command")
+    fault_flags = args.loss_rates or args.fault_seed is not None
+    if fault_flags and args.command not in ("fault_sweep", "chaos_sweep"):
+        parser.error("--loss-rate/--fault-seed only apply to the "
+                     "fault_sweep and chaos_sweep commands")
+    if args.partitions and args.command != "fault_sweep":
+        parser.error("--partition only applies to the fault_sweep command")
+    chaos_flags = (
+        args.detectors or args.suspicion_base is not None
+        or args.probe_fanout is not None
+    )
+    if chaos_flags and args.command != "chaos_sweep":
+        parser.error("--detector/--suspicion-timeout/--probe-fanout only "
+                     "apply to the chaos_sweep command")
     overload_flags = args.pub_rates or args.capacities or args.shed_policy
     if overload_flags and args.command != "overload_sweep":
         parser.error("--pub-rate/--queue-capacity/--shed-policy only apply "
@@ -337,6 +373,17 @@ def main(argv: List[str] | None = None) -> int:
             overrides["capacities"] = tuple(args.capacities)
         if args.shed_policy:
             overrides["policy"] = args.shed_policy
+    elif args.command == "chaos_sweep":
+        if args.loss_rates:
+            overrides["loss_rates"] = tuple(args.loss_rates)
+        if args.fault_seed is not None:
+            overrides["fault_seed"] = args.fault_seed
+        if args.detectors:
+            overrides["detectors"] = tuple(dict.fromkeys(args.detectors))
+        if args.suspicion_base is not None:
+            overrides["suspicion_base"] = args.suspicion_base
+        if args.probe_fanout is not None:
+            overrides["probe_fanout"] = args.probe_fanout
 
     sweep = scenario.sweep(seed=args.seed, scale=args.scale, **overrides)
     executor = ParallelExecutor(args.jobs) if args.jobs > 1 else SerialExecutor()

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.obs.spans import (
     CAUSE_DEAD_NODE,
+    CAUSE_FALSE_EVICTION,
     CAUSE_FAULTED_LINK,
     CAUSE_NO_PATH,
     CAUSE_PARTITION,
@@ -92,6 +93,12 @@ def _classify_hop(
             return HOP_RENDEZVOUS
         return HOP_RELAY
     return HOP_PUBLISH if u == publisher else HOP_RELAY
+
+
+def _liveness_cause(protocol: "VitisProtocol", v: int) -> str:
+    """Why a perceived-dead next hop blocked a transmission: genuinely
+    dead, or a live node the overlay wrongly evicted and now shuns."""
+    return CAUSE_DEAD_NODE if not protocol.is_alive(v) else CAUSE_FALSE_EVICTION
 
 
 def _publisher_targets(
@@ -185,7 +192,12 @@ def disseminate(
                 spans.miss(m, CAUSE_DEAD_NODE, dst=publisher)
         return rec
 
-    is_alive = protocol.is_alive
+    # The BFS forwards along *perceived* liveness: with a detector
+    # attached, confirmed-dead nodes are shunned even while ground-truth
+    # alive — their missed deliveries are attributed to false_eviction.
+    # (Duck-typed systems without the detector surface — the deployment —
+    # fall back to ground truth.)
+    is_alive = getattr(protocol, "liveness", protocol.is_alive)
     profile_of = protocol.profile_of
     link_cost = getattr(protocol, "link_cost", None)
     transmit = _make_transmit(protocol, rec, failures)
@@ -255,9 +267,10 @@ def disseminate(
         for hop, v in enumerate(injection_path[1:], start=1):
             if not is_alive(v):
                 if spans is not None:
-                    failures[(prev, v)] = CAUSE_DEAD_NODE
+                    cause = _liveness_cause(protocol, v)
+                    failures[(prev, v)] = cause
                     spans.failure(
-                        span_of.get(prev), HOP_LOOKUP, prev, v, hop, CAUSE_DEAD_NODE
+                        span_of.get(prev), HOP_LOOKUP, prev, v, hop, cause
                     )
                 break
             receive(v, hop, prev, hop_kind=HOP_LOOKUP)
@@ -266,11 +279,12 @@ def disseminate(
         for v in initial_targets:
             if not is_alive(v):
                 if spans is not None:
-                    failures[(publisher, v)] = CAUSE_DEAD_NODE
+                    cause = _liveness_cause(protocol, v)
+                    failures[(publisher, v)] = cause
                     spans.failure(
                         span_of.get(publisher),
                         _classify_hop(protocol, topic, publisher, v, publisher),
-                        publisher, v, 1, CAUSE_DEAD_NODE,
+                        publisher, v, 1, cause,
                     )
                 continue
             if transmit is not None and not transmit(publisher, v):
@@ -291,11 +305,12 @@ def disseminate(
                 continue
             if not is_alive(v):
                 if spans is not None:
-                    failures[(u, v)] = CAUSE_DEAD_NODE
+                    cause = _liveness_cause(protocol, v)
+                    failures[(u, v)] = cause
                     spans.failure(
                         span_of.get(u),
                         _classify_hop(protocol, topic, u, v, publisher),
-                        u, v, hop + 1, CAUSE_DEAD_NODE,
+                        u, v, hop + 1, cause,
                     )
                 continue
             if transmit is not None and not transmit(u, v):
@@ -382,9 +397,42 @@ def _attribute_misses(
             reach(u, v)
 
     is_alive = protocol.is_alive
+    liveness = getattr(protocol, "liveness", is_alive)
+    false_edges = getattr(protocol, "false_evicted_edges", None) or set()
+    augmented: Optional[Set[int]] = None
+
+    def reached_via_false_edges(m: int) -> bool:
+        """Would ``m`` have been reachable had the falsely-torn-down
+        routing-table edges still existed?  Lazily computed once: a BFS
+        from the attempted frontier over ``forwarding_targets`` augmented
+        with the live-endpoint false-evicted edges (an approximation of
+        the pre-eviction topology — good enough to attribute, read-only
+        like the rest of this pass)."""
+        nonlocal augmented
+        if augmented is None:
+            extra: Dict[int, List[int]] = {}
+            for fu, fv in false_edges:
+                if is_alive(fu) and is_alive(fv):
+                    extra.setdefault(fu, []).append(fv)
+            reached = set(parent_of)
+            frontier = deque(sorted(reached))
+            while frontier:
+                u = frontier.popleft()
+                nxt = set(forwarding_targets(protocol, u, topic))
+                nxt.update(extra.get(u, ()))
+                for v in sorted(nxt):
+                    if v not in reached and is_alive(v):
+                        reached.add(v)
+                        frontier.append(v)
+            augmented = reached
+        return m in augmented
+
     for m in missed:
         if m not in parent_of:
-            spans.miss(m, CAUSE_NO_PATH)
+            if false_edges and reached_via_false_edges(m):
+                spans.miss(m, CAUSE_FALSE_EVICTION)
+            else:
+                spans.miss(m, CAUSE_NO_PATH)
             continue
         path: List[int] = []
         cur: Optional[int] = m
@@ -398,6 +446,9 @@ def _attribute_misses(
                 src, dst = u, v
                 if not is_alive(v):
                     cause = CAUSE_DEAD_NODE
+                elif not liveness(v):
+                    # Ground-truth alive but shunned by the detector.
+                    cause = CAUSE_FALSE_EVICTION
                 else:
                     cause = failures.get((u, v), CAUSE_UNEXPLAINED)
                 break

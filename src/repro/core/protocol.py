@@ -139,6 +139,29 @@ class OverlayProtocolBase:
         #: Transmissions deferred on backpressure signals so far (plain
         #: int, like ``fault_retries``).
         self.backpressure_deferred = 0
+        #: Optional :class:`repro.faults.SwimDetector` — install via
+        #: :meth:`attach_detector`.  None everywhere = zero-cost-off: no
+        #: probe runs and no RNG is consumed.
+        self.detector = None
+        #: The liveness predicate the overlay *acts* on (gossip exchanges,
+        #: lookups, relay repair).  Literally ``self.is_alive`` until a
+        #: detector is attached; then nodes the detector has confirmed
+        #: dead are shunned even while ground-truth alive — the cost of a
+        #: false positive made explicit.  Oracle uses (subscribers,
+        #: rendezvous ground truth, bootstrap, measurement) keep
+        #: ``is_alive``.
+        self.liveness = self.is_alive
+        #: Routing-table evictions of genuinely dead nodes so far.
+        self.fault_evictions = 0
+        #: Evictions of ground-truth-live nodes (false positives) so far.
+        self.false_evictions = 0
+        #: address → time of its most recent false eviction (cleared on
+        #: rejoin); feeds the delivery auditor's ``false_eviction`` cause.
+        self.false_eviction_log: Dict[int, float] = {}
+        #: Directed ``(holder, victim)`` routing-table edges torn down
+        #: while the victim was alive — the auditor's reachability
+        #: augmentation for reclassifying ``no_path`` misses.
+        self.false_evicted_edges: Set[tuple] = set()
         #: Miss-cause hint left by a ``publisher_targets`` hook that
         #: injected nothing (e.g. RVR's backpressure deferral); read by
         #: the tracing layer's miss attribution, reset per publish.
@@ -228,6 +251,17 @@ class OverlayProtocolBase:
         seeds = self.bootstrap_descriptors(self.config.peer_view_size, address)
         node.join(seeds)
         self.topology_version += 1
+        # A joining node starts with a clean liveness slate: stale
+        # false-eviction bookkeeping about it no longer explains misses,
+        # and the detector must not shun it for a pre-crash verdict.
+        if self.false_eviction_log:
+            self.false_eviction_log.pop(address, None)
+        if self.false_evicted_edges:
+            self.false_evicted_edges = {
+                e for e in self.false_evicted_edges if address not in e
+            }
+        if self.detector is not None:
+            self.detector.on_rejoin(address)
         tel = self.telemetry
         if tel.enabled:
             tel.metrics.counter("joins_total", system=self.name).inc()
@@ -304,6 +338,85 @@ class OverlayProtocolBase:
         if model is not None:
             model.bind(self.network, self.telemetry)
 
+    def attach_detector(self, detector) -> None:
+        """Install a SWIM-style failure detector (see docs/robustness.md,
+        "SWIM failure detection").
+
+        Attaching swaps :attr:`liveness` from the ground-truth oracle to
+        the detector-aware predicate: confirmed-dead nodes are shunned by
+        gossip exchanges, lookups and relay repair, and globally purged on
+        confirmation.  Pass ``None`` to detach and return to oracle
+        liveness (zero-cost-off, like :meth:`attach_faults`).
+        """
+        self.detector = detector
+        if detector is not None:
+            detector.bind(self)
+            self.liveness = self._detector_liveness
+        else:
+            self.liveness = self.is_alive
+
+    def _detector_liveness(self, address: int) -> bool:
+        """Liveness as the overlay perceives it: ground-truth alive *and*
+        not confirmed dead by the detector."""
+        return self.is_alive(address) and not self.detector.confirmed(address)
+
+    def _evict_confirmed(self, address: int) -> int:
+        """Globally purge a detector-confirmed node from every routing
+        table and peer-sampling view (the dissemination of a confirmed
+        verdict, modeled as instantly consistent like the other gossip
+        exchanges).  Returns the number of routing tables it was in."""
+        removed = 0
+        holders: List[int] = []
+        for a in self.live_addresses():
+            if a == address:
+                continue
+            n = self.nodes[a]
+            if n.rt.remove(address):
+                removed += 1
+                holders.append(a)
+            n.ps.evict(address)
+        if self.is_alive(address):
+            # The detector was wrong: a live node just lost its overlay
+            # presence.  Count at least one false eviction even when no
+            # table held it (the liveness shun alone breaks delivery).
+            self.false_evictions += max(removed, 1)
+            self.false_eviction_log[address] = self.engine.now
+            for h in holders:
+                self.false_evicted_edges.add((h, address))
+                self.false_evicted_edges.add((address, h))
+        else:
+            self.fault_evictions += removed
+        self.topology_version += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter(
+                "detector_evictions_total",
+                system=self.name,
+                false=str(self.is_alive(address)).lower(),
+            ).inc()
+            if tel.tracing:
+                tel.event(
+                    "evict", t=self.engine.now, addr=address,
+                    tables=removed, false=self.is_alive(address),
+                )
+        return removed
+
+    def rejoin(self, address: int) -> None:
+        """Graceful re-entry of a previously crashed node.
+
+        Bootstrap re-entry rides :meth:`join` (which also clears any
+        detector verdict and false-eviction bookkeeping); the node's
+        profile — and with it its subscriptions — survives the crash, so
+        interest recovery is immediate.  Subclasses layer protocol state
+        recovery on top (Vitis re-installs the relay trees of the
+        returning node's topics).
+        """
+        self.join(address)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.counter("rejoins_total", system=self.name).inc()
+            tel.event("rejoin", t=self.engine.now, addr=address)
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
@@ -329,7 +442,7 @@ class OverlayProtocolBase:
             start,
             node.node_id,
             neighbors_of=lambda a: self.nodes[a].rt.links(),
-            is_alive=self.is_alive,
+            is_alive=self.liveness,
             max_hops=self.config.max_lookup_hops,
         )
         tel = self.telemetry
@@ -402,7 +515,7 @@ class OverlayProtocolBase:
                 start,
                 node.node_id,
                 neighbors_of=neighbors_of,
-                is_alive=self.is_alive,
+                is_alive=self.liveness,
                 max_hops=self.config.max_lookup_hops,
                 link_ok=link_ok,
             )
@@ -574,13 +687,17 @@ class VitisProtocol(OverlayProtocolBase):
         ps_registry = {n.address: n.ps for n in self.nodes.values() if n.alive}
         n_live = max(2, len(live))
         ps_ok = tman_ok = evicted = 0
+        liveness = self.liveness
         for node in live:
             node.n_estimate = n_live
-            if node.ps.step(ps_registry, self.is_alive) is not None:
+            if node.ps.step(ps_registry, liveness) is not None:
                 ps_ok += 1
         for node in live:
-            if node.tman_step(self.nodes.get, self.is_alive, self.profile_of) is not None:
+            if node.tman_step(self.nodes.get, liveness, self.profile_of) is not None:
                 tman_ok += 1
+        det = self.detector
+        if det is not None:
+            det.step(self.engine.now, live)
         evicted = self._heartbeat_round(live)
         if tel.enabled:
             self._record_gossip_cycle(cycle, len(live), ps_ok, tman_ok, evicted)
@@ -611,13 +728,35 @@ class VitisProtocol(OverlayProtocolBase):
         """
         fm = self.fault_model
         cap = self.capacity
-        if fm is None and cap is None:
+        det = self.detector
+        if fm is None and cap is None and det is None:
             return sum(len(node.heartbeat_step(self.is_alive)) for node in live)
         now = self.engine.now
         is_alive = self.is_alive
         net = self.network
         evicted = 0
         hb_faults = 0
+        if det is not None:
+            # SWIM replaces the heartbeat timeout as the liveness source:
+            # suspicion precedes eviction, so entries survive lossy
+            # heartbeats (no fault dice rolled here) and only
+            # detector-confirmed nodes age out — the backstop that
+            # re-purges stale descriptors gossip re-admits after the
+            # confirmation-time global purge.
+            confirmed = det.confirmed
+            hb_pred = lambda b: not confirmed(b)
+            for node in live:
+                src = node.address
+                gone = node.heartbeat_step(hb_pred)
+                evicted += len(gone)
+                for b in gone:
+                    if is_alive(b):
+                        self.false_evictions += 1
+                        self.false_eviction_log[b] = now
+                        self.false_evicted_edges.add((src, b))
+                    else:
+                        self.fault_evictions += 1
+            return evicted
         for node in live:
             src = node.address
 
@@ -635,7 +774,19 @@ class VitisProtocol(OverlayProtocolBase):
                         return False
                 return True
 
-            evicted += len(node.heartbeat_step(hb_ok))
+            gone = node.heartbeat_step(hb_ok)
+            evicted += len(gone)
+            for b in gone:
+                # Attribute each eviction while it happens: a live victim
+                # is a false positive (persistently lossy link or shed
+                # heartbeats masquerading as silence), a dead one the
+                # intended pruning.
+                if is_alive(b):
+                    self.false_evictions += 1
+                    self.false_eviction_log[b] = now
+                    self.false_evicted_edges.add((src, b))
+                else:
+                    self.fault_evictions += 1
         tel = self.telemetry
         if hb_faults and tel.enabled:
             tel.metrics.counter(
@@ -823,7 +974,9 @@ class VitisProtocol(OverlayProtocolBase):
         topics repaired.
         """
         fm = self.fault_model
-        is_alive = self.is_alive
+        # Perceived liveness: with a detector attached, confirmed-dead
+        # nodes count as unreachable so their trees are repaired too.
+        is_alive = self.liveness
         if fm is None:
             reachable = lambda u, v: is_alive(v)
         else:
@@ -891,6 +1044,44 @@ class VitisProtocol(OverlayProtocolBase):
                     purged_proposals=purged,
                 )
         return repaired
+
+    # ------------------------------------------------------------------
+    # Graceful rejoin (docs/robustness.md): crash → return without a
+    # cold start
+    # ------------------------------------------------------------------
+    def rejoin(self, address: int) -> None:
+        """Bring a crashed node back and restore its protocol state.
+
+        Bootstrap re-entry and subscription recovery come from the base
+        class (the profile survives the crash); on top, the relay trees
+        of the returning node's topics are torn down and re-installed from
+        their current gateways, so the subscriber is stitched back into
+        dissemination immediately instead of waiting for the next full
+        install or repair cycle.
+        """
+        super().rejoin(address)
+        node = self.nodes[address]
+        topics = sorted(
+            t for t in node.profile.subscriptions if self.subscribers(t)
+        )
+        if not topics:
+            return
+        tables = {a: n.relay for a, n in self.nodes.items()}
+        for topic in topics:
+            for tbl in tables.values():
+                tbl.drop_topic(topic)
+            self.relay_stats.rendezvous.pop(topic, None)
+            tid = self.topic_id(topic)
+            for gw in self.gateways_of(topic):
+                lr = self.lookup(gw, tid, kind="relay_install")
+                self._install_with_spans(topic, gw, lr, tables)
+        self.topology_version += 1
+        tel = self.telemetry
+        if tel.enabled and tel.tracing:
+            tel.event(
+                "rejoin_reinstall", t=self.engine.now, addr=address,
+                topics=len(topics),
+            )
 
     # ------------------------------------------------------------------
     # Dissemination

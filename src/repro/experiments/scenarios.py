@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     build_vitis,
     measure,
 )
+from repro.experiments.chaos import chaos_sweep, chaos_sweep_spec
 from repro.experiments.overload import overload_sweep, overload_sweep_spec
 from repro.experiments.spec import Scenario, Sweep, flat_reduce, rows_reduce
 from repro.sim.metrics import MetricsCollector
@@ -68,6 +69,7 @@ __all__ = [
     "fig12_churn",
     "fault_sweep",
     "overload_sweep",
+    "chaos_sweep",
     "ablation_gateway_depth",
     "ablation_utility",
     "ablation_sampler",
@@ -1232,6 +1234,8 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("fault_sweep", fault_sweep_spec,
                  {"n_nodes": 200, "n_topics": 400}, adjust=_fault_sweep_adjust),
         Scenario("overload_sweep", overload_sweep_spec,
+                 {"n_nodes": 200, "n_topics": 400}, adjust=_fault_sweep_adjust),
+        Scenario("chaos_sweep", chaos_sweep_spec,
                  {"n_nodes": 200, "n_topics": 400}, adjust=_fault_sweep_adjust),
     )
 }

@@ -7,8 +7,14 @@ policy the protocols apply against them.  Attach both to a protocol with
 :meth:`repro.core.protocol.OverlayProtocolBase.attach_faults`; with no
 model attached every fault hook is skipped entirely (zero-cost-off, like
 ``obs.NULL``).
+
+``repro.faults.detector`` provides SWIM-style failure detection
+(probe / indirect probe / suspicion / incarnation-refutation) as an
+alternative liveness source; attach with ``attach_detector`` — same
+zero-cost-off contract.
 """
 
+from repro.faults.detector import DetectorConfig, SwimDetector
 from repro.faults.healing import HealingPolicy, send_with_retries
 from repro.faults.kill import crash_nodes
 from repro.faults.models import (
@@ -27,6 +33,8 @@ __all__ = [
     "Partition",
     "SlowLinks",
     "CompositeFault",
+    "DetectorConfig",
+    "SwimDetector",
     "HealingPolicy",
     "send_with_retries",
     "crash_nodes",

@@ -116,6 +116,11 @@ class CyclonService:
             view.insert(d)
         view.trim()  # bound only; eviction above already randomised
 
+    def evict(self, address: int) -> bool:
+        """Drop ``address`` on external liveness evidence (same contract
+        as :meth:`PeerSamplingService.evict`)."""
+        return self.view.remove(address)
+
     def sample(self, n: int) -> List[Descriptor]:
         return self.view.sample(n, self.rng)
 

@@ -113,6 +113,12 @@ class PeerSamplingService:
         self.exchanges += 1
         return peer_addr
 
+    def evict(self, address: int) -> bool:
+        """Drop ``address`` from the view on external liveness evidence
+        (e.g. a failure detector confirming it dead), so its descriptor
+        stops circulating.  Returns True if it was present."""
+        return self.view.remove(address)
+
     # ------------------------------------------------------------------
     # Sampling API (what T-Man and the overlays consume)
     # ------------------------------------------------------------------

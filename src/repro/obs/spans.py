@@ -48,12 +48,14 @@ __all__ = [
     "HOP_LOOKUP",
     "HOP_RELAY",
     "HOP_RENDEZVOUS",
+    "HOP_PROBE",
     "HOP_DELIVER",
     "HOP_KINDS",
     "CAUSE_FAULTED_LINK",
     "CAUSE_PARTITION",
     "CAUSE_SHED",
     "CAUSE_DEAD_NODE",
+    "CAUSE_FALSE_EVICTION",
     "CAUSE_NO_PATH",
     "CAUSE_BACKPRESSURE",
     "CAUSE_UNEXPLAINED",
@@ -73,10 +75,12 @@ HOP_FLOOD = "flood"
 HOP_LOOKUP = "lookup"
 HOP_RELAY = "relay"
 HOP_RENDEZVOUS = "rendezvous"
+HOP_PROBE = "probe"  #: a SWIM liveness probe edge (repro.faults.detector)
 HOP_DELIVER = "deliver"
 
 HOP_KINDS = (
-    HOP_PUBLISH, HOP_FLOOD, HOP_LOOKUP, HOP_RELAY, HOP_RENDEZVOUS, HOP_DELIVER,
+    HOP_PUBLISH, HOP_FLOOD, HOP_LOOKUP, HOP_RELAY, HOP_RENDEZVOUS, HOP_PROBE,
+    HOP_DELIVER,
 )
 
 # ----------------------------------------------------------------------
@@ -86,13 +90,14 @@ CAUSE_FAULTED_LINK = "faulted_link"  #: a fault model ate the blocking edge
 CAUSE_PARTITION = "partition"        #: the blocking edge was severed
 CAUSE_SHED = "shed"                  #: the receiver's bounded inbox refused it
 CAUSE_DEAD_NODE = "dead_node"        #: the blocking next hop was dead
+CAUSE_FALSE_EVICTION = "false_eviction"  #: the blocking node was live but wrongly evicted
 CAUSE_NO_PATH = "no_path"            #: structurally unreachable (no relay path)
 CAUSE_BACKPRESSURE = "backpressure"  #: the publisher deferred injection
 CAUSE_UNEXPLAINED = "unexplained"    #: attribution failed (audit flags these)
 
 MISS_CAUSES = (
     CAUSE_FAULTED_LINK, CAUSE_PARTITION, CAUSE_SHED, CAUSE_DEAD_NODE,
-    CAUSE_NO_PATH, CAUSE_BACKPRESSURE, CAUSE_UNEXPLAINED,
+    CAUSE_FALSE_EVICTION, CAUSE_NO_PATH, CAUSE_BACKPRESSURE, CAUSE_UNEXPLAINED,
 )
 
 

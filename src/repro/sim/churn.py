@@ -11,11 +11,11 @@ times, interleaved with gossip cycles by :class:`repro.sim.engine.CycleDriver`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Engine
 
-__all__ = ["ChurnEvent", "ChurnSchedule"]
+__all__ = ["ChurnEvent", "ChurnSchedule", "flash_crowd"]
 
 JOIN = "join"
 LEAVE = "leave"
@@ -37,10 +37,21 @@ class ChurnEvent:
 
 
 class ChurnSchedule:
-    """An immutable, time-ordered sequence of churn events."""
+    """An immutable, time-ordered sequence of churn events.
+
+    Ordering is fully deterministic, including the degenerate case of a
+    *simultaneous join and crash of the same node*: events sort by
+    ``(time, address, kind)`` with LEAVE before JOIN, so a crash+restart
+    scheduled at one instant nets to **online** — the restart wins —
+    regardless of the construction order of the merged schedules.
+    (Sorting by ``(time, address)`` alone left the tie to Python's stable
+    sort, i.e. to whichever schedule happened to be built first.)
+    """
 
     def __init__(self, events: Iterable[ChurnEvent]) -> None:
-        self.events: List[ChurnEvent] = sorted(events, key=lambda e: (e.time, e.address))
+        self.events: List[ChurnEvent] = sorted(
+            events, key=lambda e: (e.time, e.address, 0 if e.kind == LEAVE else 1)
+        )
 
     def __len__(self) -> int:
         return len(self.events)
@@ -207,3 +218,30 @@ class ChurnSchedule:
                 break
             i += 1
         return series
+
+
+def flash_crowd(
+    cycle: int,
+    n: Optional[int] = None,
+    addresses: Optional[Sequence[int]] = None,
+    period: float = 1.0,
+    spread: float = 0.0,
+    rng=None,
+) -> ChurnSchedule:
+    """Cycle-denominated flash crowd: ``n`` nodes (addresses ``0..n-1``,
+    or an explicit ``addresses`` sequence) join at gossip cycle ``cycle``.
+
+    Convenience wrapper over :meth:`ChurnSchedule.flash_crowd` for
+    experiment code that thinks in cycles rather than simulated seconds;
+    ``period`` is the gossip period (``config.gossip_period``) converting
+    between the two.  Also the graceful-rejoin vehicle of the chaos
+    sweep: apply with ``join=protocol.rejoin`` to bring crashed nodes
+    back as a burst.
+    """
+    if (n is None) == (addresses is None):
+        raise ValueError("pass exactly one of n or addresses")
+    if addresses is None:
+        addresses = range(n)
+    return ChurnSchedule.flash_crowd(
+        addresses, at=cycle * period, spread=spread, rng=rng
+    )

@@ -38,6 +38,11 @@ __all__ = [
     "RtExchangeRequest",
     "RtExchangeReply",
     "RelayInstall",
+    "Probe",
+    "ProbeReq",
+    "ProbeAck",
+    "Suspicion",
+    "Refutation",
     "PRIO_PULL",
     "PRIO_NOTIFY",
     "PRIO_LOOKUP",
@@ -78,6 +83,19 @@ KIND_PRIORITY: Dict[str, int] = {
     "RelayInstall": PRIO_CONTROL,
     "heartbeat": PRIO_CONTROL,
     "relay_install": PRIO_CONTROL,
+    # SWIM failure detection (repro.faults.detector): losing liveness
+    # traffic under overload would evict healthy nodes, so it rides the
+    # control class.
+    "Probe": PRIO_CONTROL,
+    "ProbeReq": PRIO_CONTROL,
+    "ProbeAck": PRIO_CONTROL,
+    "Suspicion": PRIO_CONTROL,
+    "Refutation": PRIO_CONTROL,
+    "probe": PRIO_CONTROL,
+    "probe_req": PRIO_CONTROL,
+    "ack": PRIO_CONTROL,
+    "suspect": PRIO_CONTROL,
+    "refute": PRIO_CONTROL,
 }
 
 
@@ -290,3 +308,65 @@ class RelayInstall(Message):
 
     def _payload_bytes(self) -> int:
         return 4 * _WORD  # topic, target_id, origin, hops
+
+
+# ----------------------------------------------------------------------
+# SWIM failure detection (repro.faults.detector)
+# ----------------------------------------------------------------------
+@dataclass
+class Probe(Message):
+    """A direct liveness ping: ``src`` asks ``target`` to ack this cycle."""
+
+    target: int = -1
+    incarnation: int = 0
+
+    def _payload_bytes(self) -> int:
+        return 2 * _WORD  # target, incarnation
+
+
+@dataclass
+class ProbeReq(Message):
+    """Indirect probe request: ``origin`` asks a proxy to ping ``target``
+    on its behalf after a direct-probe miss."""
+
+    target: int = -1
+    origin: int = -1
+
+    def _payload_bytes(self) -> int:
+        return 2 * _WORD  # target, origin
+
+
+@dataclass
+class ProbeAck(Message):
+    """The (possibly proxied) ack proving ``target`` is alive, stamped
+    with the target's current incarnation number."""
+
+    target: int = -1
+    incarnation: int = 0
+
+    def _payload_bytes(self) -> int:
+        return 2 * _WORD  # target, incarnation
+
+
+@dataclass
+class Suspicion(Message):
+    """Gossiped suspicion: ``target`` at ``incarnation`` missed its probes
+    and is presumed failing unless it refutes."""
+
+    target: int = -1
+    incarnation: int = 0
+
+    def _payload_bytes(self) -> int:
+        return 2 * _WORD  # target, incarnation
+
+
+@dataclass
+class Refutation(Message):
+    """A suspected-but-live node's rebuttal: "I am alive at a *higher*
+    incarnation than the suspicion names" — overriding eviction."""
+
+    target: int = -1
+    incarnation: int = 0
+
+    def _payload_bytes(self) -> int:
+        return 2 * _WORD  # target, incarnation

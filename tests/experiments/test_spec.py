@@ -111,12 +111,13 @@ class TestTrialKey:
 
 
 class TestScenarioRegistry:
-    def test_all_seventeen_commands_present(self):
+    def test_all_eighteen_commands_present(self):
         assert set(SCENARIOS) == {
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "fig12", "ablation_depth", "ablation_utility",
             "ablation_sampler", "ablation_sw", "ablation_proximity",
             "management_cost", "fault_sweep", "overload_sweep",
+            "chaos_sweep",
         }
 
     def test_every_scenario_builds_a_sweep(self):

@@ -1,0 +1,115 @@
+"""Healing under composed faults (satellite of the SWIM detector PR).
+
+One run stacking i.i.d. loss + a healing partition + crash churn, with
+span tracing on: every delivery miss must be attributed to a concrete
+cause (zero unexplained), and the repair machinery must *converge* after
+the partition heals — ``fault_repairs`` stops growing once the trees
+have been rebuilt around the corpses.
+"""
+
+import io
+import json
+import random
+
+from repro import obs
+from repro.core.config import VitisConfig
+from repro.core.dissemination import disseminate
+from repro.core.protocol import VitisProtocol
+from repro.faults import (
+    CompositeFault,
+    HealingPolicy,
+    MessageLoss,
+    Partition,
+    crash_nodes,
+)
+from repro.obs.audit import audit_trace
+from tests.conftest import small_subscriptions
+
+
+def _traced_vitis():
+    buf = io.StringIO()
+    tel = obs.Telemetry(trace=obs.TraceWriter(buf, flush_every=1))
+    p = VitisProtocol(
+        small_subscriptions(seed=7),
+        VitisConfig(rt_size=10, n_sw_links=1),
+        seed=7,
+        election_every=0,
+        relay_every=0,
+        telemetry=tel,
+    )
+    p.run_cycles(40)
+    p.finalize()
+    return p, buf
+
+
+class TestComposedFaults:
+    def test_audit_clean_and_repairs_converge(self):
+        p, buf = _traced_vitis()
+        period = p.config.gossip_period
+        live = sorted(p.live_addresses())
+        model = CompositeFault([
+            MessageLoss(0.05, random.Random(11)),
+            Partition.halves(
+                live, start=p.engine.now, heal_at=p.engine.now + 8 * period
+            ),
+        ])
+        p.attach_faults(model, HealingPolicy())
+        crash_nodes(p, random.Random(3).sample(live, 6))
+
+        # Ride out the partition, then let the overlay re-knit.
+        p.run_cycles(10)
+        assert model.injected > 0
+        p.run_cycles(15)
+
+        # Convergence: with the partition healed and no new corpses, the
+        # repair counter stops moving.
+        settled = p.fault_repairs
+        p.run_cycles(8)
+        assert p.fault_repairs == settled
+
+        # Every post-heal miss is explained (loss is still active, so
+        # misses are allowed — unattributed ones are not).
+        for topic in p.topics()[:20]:
+            subs = sorted(p.subscribers(topic))
+            if subs:
+                disseminate(p, topic, subs[0], event_id=topic)
+        report = audit_trace(
+            [json.loads(line) for line in buf.getvalue().splitlines()]
+        )
+        assert report.n_events > 0
+        assert report.unexplained_total == 0, [
+            vars(e) for e in report.failures()
+        ]
+        assert report.ok
+
+    def test_detector_keeps_the_audit_clean_too(self):
+        """Same composition with the SWIM detector attached: suspicion
+        (not timeout) drives eviction and the audit still closes."""
+        from repro.faults import DetectorConfig, SwimDetector
+
+        p, buf = _traced_vitis()
+        period = p.config.gossip_period
+        live = sorted(p.live_addresses())
+        model = CompositeFault([
+            MessageLoss(0.05, random.Random(11)),
+            Partition.halves(
+                live, start=p.engine.now, heal_at=p.engine.now + 8 * period
+            ),
+        ])
+        p.attach_faults(model, HealingPolicy())
+        p.attach_detector(SwimDetector(random.Random(4), DetectorConfig()))
+        crash_nodes(p, random.Random(3).sample(live, 6))
+        p.run_cycles(25)
+
+        for topic in p.topics()[:20]:
+            subs = sorted(p.subscribers(topic))
+            if subs:
+                disseminate(p, topic, subs[0], event_id=topic)
+        report = audit_trace(
+            [json.loads(line) for line in buf.getvalue().splitlines()]
+        )
+        assert report.n_events > 0
+        assert report.unexplained_total == 0, [
+            vars(e) for e in report.failures()
+        ]
+        assert report.ok

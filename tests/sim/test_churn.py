@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.sim.churn import ChurnEvent, ChurnSchedule
+from repro.sim.churn import ChurnEvent, ChurnSchedule, flash_crowd
 from repro.sim.engine import Engine
 
 
@@ -93,6 +93,70 @@ class TestGenerators:
     def test_crashes_with_spread(self, rng):
         s = ChurnSchedule.crashes([1, 2], at=10.0, spread=2.0, rng=rng)
         assert all(10.0 <= e.time <= 12.0 and e.kind == "leave" for e in s)
+
+
+class TestSimultaneousJoinCrash:
+    """The documented tie-break: at one (time, address) LEAVE sorts before
+    JOIN, so a simultaneous crash+restart deterministically nets to
+    *online* regardless of construction or merge order."""
+
+    def test_leave_sorts_before_join(self):
+        fwd = ChurnSchedule([
+            ChurnEvent(5.0, 1, "join"), ChurnEvent(5.0, 1, "leave"),
+        ])
+        rev = ChurnSchedule([
+            ChurnEvent(5.0, 1, "leave"), ChurnEvent(5.0, 1, "join"),
+        ])
+        assert [e.kind for e in fwd] == ["leave", "join"]
+        assert [e.kind for e in rev] == ["leave", "join"]
+
+    def test_merge_order_invariant(self):
+        crash = ChurnSchedule.crashes([1], at=5.0)
+        restart = ChurnSchedule.flash_crowd([1], at=5.0)
+        a = [e.kind for e in crash.merged(restart)]
+        b = [e.kind for e in restart.merged(crash)]
+        assert a == b == ["leave", "join"]
+
+    def test_applied_pair_leaves_the_node_online(self):
+        e = Engine()
+        online = set()
+        s = ChurnSchedule.crashes([1], at=5.0).merged(
+            ChurnSchedule.flash_crowd([1], at=5.0)
+        )
+        s.apply(e, join=online.add, leave=online.discard)
+        e.run()
+        assert online == {1}
+
+    def test_distinct_addresses_still_sort_by_address(self):
+        s = ChurnSchedule([
+            ChurnEvent(5.0, 2, "leave"), ChurnEvent(5.0, 1, "join"),
+        ])
+        assert [(e.address, e.kind) for e in s] == [(1, "join"), (2, "leave")]
+
+
+class TestFlashCrowdHelper:
+    def test_n_form_joins_the_first_n_addresses(self):
+        s = flash_crowd(cycle=4, n=3, period=2.0)
+        assert [(e.time, e.address, e.kind) for e in s] == [
+            (8.0, 0, "join"), (8.0, 1, "join"), (8.0, 2, "join"),
+        ]
+
+    def test_addresses_form(self):
+        s = flash_crowd(cycle=1, addresses=[7, 9])
+        assert sorted(e.address for e in s) == [7, 9]
+        assert all(e.time == 1.0 and e.kind == "join" for e in s)
+
+    def test_spread_jitters_within_the_window(self, rng):
+        s = flash_crowd(cycle=10, n=5, spread=2.0, rng=rng)
+        assert all(10.0 <= e.time <= 12.0 for e in s)
+
+    @pytest.mark.parametrize("kwargs", [
+        {},                              # neither
+        {"n": 3, "addresses": [1, 2]},   # both
+    ])
+    def test_rejects_ambiguous_population(self, kwargs):
+        with pytest.raises(ValueError):
+            flash_crowd(cycle=1, **kwargs)
 
 
 class TestApply:
