@@ -190,24 +190,29 @@ class CollectedRun:
     def profile_rows(self, top: int = 25) -> List[Dict]:
         """Top-``top`` functions by cumulative time, as table rows.
 
-        Deterministically ordered (cumulative time desc, then function
-        identity) so rendered profiles are stable for equal timings.
+        Ordered by *rounded* cumulative time descending, then function
+        name: raw cProfile floats never tie across two runs, so sorting
+        on them makes near-equal rows swap places run-to-run and profile
+        diffs drown in reordering noise.  Rounding to the same 0.1 ms
+        precision the rows report restores the ties, and the name
+        tie-break makes the order total — equal-cost functions always
+        render in the same relative position.
         """
         if self.profile is None:
             return []
-        entries = sorted(
-            self.profile.stats.items(), key=lambda kv: (-kv[1][3], kv[0])
-        )
-        return [
-            {
+
+        def row(site, stat):
+            (filename, lineno, funcname), (cc, nc, tt, ct, _callers) = site, stat
+            return {
                 "function": f"{_short_site(filename, lineno)}:{funcname}",
                 "calls": nc,
                 "tottime_s": round(tt, 4),
                 "cumtime_s": round(ct, 4),
             }
-            for (filename, lineno, funcname), (cc, nc, tt, ct, _callers)
-            in entries[:top]
-        ]
+
+        rows = [row(site, stat) for site, stat in self.profile.stats.items()]
+        rows.sort(key=lambda r: (-r["cumtime_s"], r["function"]))
+        return rows[:top]
 
 
 def collect_callable(

@@ -1,0 +1,54 @@
+"""Golden-run byte-identity fixtures.
+
+The hot-path refactor (cached id geometry, columnar views, dissemination
+frontier, engine fast path) promises *byte-identical* results: same seeds
+in, same reduced rows out.  These tests pin that promise to fingerprints
+captured on the pre-refactor code — fig7 is the detached fast path,
+fig4 exercises all three systems, and chaos_sweep composes faults,
+capacity, detector and healing on top.
+
+To regenerate after a deliberate behaviour change::
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.experiments.scenarios import SCENARIOS
+    from repro.experiments.executor import SerialExecutor, run_sweep
+    from repro.obs.perf import rows_fingerprint
+    spec = json.load(open("tests/fixtures/golden_rows.json"))
+    for name, g in spec.items():
+        if name.startswith("_"):
+            continue
+        sweep = SCENARIOS[name].sweep(seed=g["seed"], scale=g["scale"])
+        rows = run_sweep(sweep, executor=SerialExecutor())
+        g["rows"], g["rows_sha256"] = len(rows), rows_fingerprint(rows)
+    json.dump(spec, open("tests/fixtures/golden_rows.json", "w"), indent=2)
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.executor import SerialExecutor, run_sweep
+from repro.experiments.scenarios import SCENARIOS
+from repro.obs.perf import rows_fingerprint
+
+FIXTURE = Path(__file__).resolve().parent.parent / "fixtures" / "golden_rows.json"
+GOLDEN = {
+    k: v for k, v in json.loads(FIXTURE.read_text()).items() if not k.startswith("_")
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", sorted(GOLDEN))
+def test_rows_sha256_matches_pre_refactor_fingerprint(scenario):
+    golden = GOLDEN[scenario]
+    sweep = SCENARIOS[scenario].sweep(seed=golden["seed"], scale=golden["scale"])
+    rows = run_sweep(sweep, executor=SerialExecutor())
+    assert len(rows) == golden["rows"]
+    assert rows_fingerprint(rows) == golden["rows_sha256"], (
+        f"{scenario} rows drifted from the pre-refactor golden fingerprint "
+        f"(seed={golden['seed']} scale={golden['scale']}); the fast paths "
+        "must stay byte-identical to the legacy implementation"
+    )

@@ -106,6 +106,32 @@ class TestCollectCallable:
         assert all({"function", "calls", "tottime_s", "cumtime_s"} <= set(r)
                    for r in rows)
 
+    def test_profile_rows_deterministic_order_for_tied_timings(self):
+        """Rows with equal (rounded) cumulative time sort by function
+        name, so profile diffs between runs are reordering-free."""
+        import pstats
+
+        collected = collect_callable("bench", self.instrumented_job, profile=True)
+        stats = pstats.Stats.__new__(pstats.Stats)
+        # Three synthetic sites: two exactly tied after rounding (their
+        # raw floats differ in the noise digits), one clearly slower.
+        stats.stats = {
+            ("b.py", 1, "zeta"): (1, 1, 0.1, 0.50004, {}),
+            ("a.py", 1, "alpha"): (1, 1, 0.1, 0.50001, {}),
+            ("c.py", 1, "omega"): (1, 1, 0.2, 0.9, {}),
+        }
+        collected.profile = stats
+        rows = collected.profile_rows()
+        assert [r["function"] for r in rows] == [
+            "c.py:1:omega", "a.py:1:alpha", "b.py:1:zeta",
+        ]
+        # Flipping the raw sub-rounding noise must not change the order.
+        stats.stats[("a.py", 1, "alpha")] = (1, 1, 0.1, 0.50004, {})
+        stats.stats[("b.py", 1, "zeta")] = (1, 1, 0.1, 0.50001, {})
+        assert [r["function"] for r in rows] == [
+            r["function"] for r in collected.profile_rows()
+        ]
+
     def test_no_profile_means_no_rows(self):
         collected = collect_callable("bench", self.instrumented_job)
         assert collected.profile is None
