@@ -31,7 +31,7 @@ already rules out cyclic adoption of distinct gateways.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
 from repro.core.identifiers import IdSpace
 from repro.core.routing_table import RoutingTable
@@ -123,6 +123,7 @@ def elect_round(
     topic_ids: Callable[[int], int],
     depth: int,
     stats: Optional[ElectionStats] = None,
+    neighbor_proposals: Optional[Mapping[int, Mapping[int, Proposal]]] = None,
 ) -> Dict[int, Proposal]:
     """One Alg. 5 round for one node; returns the *new* proposal map.
 
@@ -146,41 +147,82 @@ def elect_round(
     stats:
         Optional :class:`ElectionStats` accumulating adoption counts
         across nodes within a round (telemetry).
+    neighbor_proposals:
+        Optional ``addr → (topic → Proposal)`` snapshot of every
+        neighbor's previous-round proposals.  When given it replaces the
+        per-(topic, neighbor) ``neighbor_proposal`` calls — the driver
+        builds the snapshot once per round instead of paying a callable
+        round-trip on every pair.
+
+    The hot loop is restructured against the naive Alg. 5 transcription:
+    per-neighbor work (profile lookup, acceptance filtering) happens once
+    per routing-table entry via a set intersection with the neighbor's
+    subscriptions, and candidates are bucketed per shared topic *in
+    routing-table order* — the adoption scan is order-sensitive (strict
+    improvement plus same-gateway hop shortening), so preserving that
+    order keeps results identical to the per-topic rescan.
     """
     new_proposals: Dict[int, Proposal] = {}
     self_addr = state.address
     self_id = state.node_id
-    rt_addresses = set(rt.addresses)
+    size = space.size
+    half = size >> 1
 
-    for topic in subscriptions:
-        t_id = topic_ids(topic)
-        # Alg. 5 line 3: restart from self each round.
-        prop = Proposal(self_addr, self_id, self_addr, 0)
-        current_dis = space.distance(self_id, t_id)
+    # Pass 1 — per neighbor: acceptance-filter its previous-round
+    # proposals for every shared topic, bucketing survivors per topic in
+    # routing-table order.
+    rt_addresses = set()
+    shared_by_neighbor = []
+    for entry in rt:
+        naddr = entry.address
+        rt_addresses.add(naddr)
+        nsubs = neighbor_subscriptions(naddr)
+        if nsubs:
+            shared = subscriptions & nsubs  # Alg. 5 line 5
+            if shared:
+                shared_by_neighbor.append((naddr, shared))
 
-        for entry in rt:
-            naddr = entry.address
-            if topic not in neighbor_subscriptions(naddr):
-                continue  # Alg. 5 line 5: only same-cluster neighbors count
-            new = neighbor_proposal(naddr, topic)
+    by_topic: Dict[int, list] = {}
+    for naddr, shared in shared_by_neighbor:
+        props = neighbor_proposals.get(naddr) if neighbor_proposals is not None else None
+        for topic in shared:
+            if neighbor_proposals is not None:
+                new = props.get(topic) if props is not None else None
+            else:
+                new = neighbor_proposal(naddr, topic)
             if new is None:
                 continue
             # Alg. 5 line 7 acceptance condition (see module docstring).
-            if not (new.parent_addr == naddr or new.parent_addr not in rt_addresses):
+            parent = new.parent_addr
+            if parent != naddr and parent in rt_addresses:
                 continue
-            if new.gw_addr == self_addr and new.parent_addr != self_addr:
+            if new.gw_addr == self_addr and parent != self_addr:
                 continue  # echoed self-proposal with stale hop count
-            new_dis = space.distance(new.gw_id, t_id)
-            if new_dis < current_dis and new.hops + 1 < depth:
-                prop = Proposal(new.gw_addr, new.gw_id, naddr, new.hops + 1)
-                current_dis = new_dis
-            elif new.gw_addr == prop.gw_addr and new.hops + 1 < prop.hops:
-                prop = Proposal(new.gw_addr, new.gw_id, naddr, new.hops + 1)
+            by_topic.setdefault(topic, []).append((naddr, new))
 
-        new_proposals[topic] = prop
+    # Pass 2 — per topic: the order-sensitive adoption scan over the
+    # pre-filtered candidates, ring distances inlined.
+    for topic in subscriptions:
+        t_id = topic_ids(topic)
+        # Alg. 5 line 3: restart from self each round.
+        gw_addr, gw_id, parent_addr, hops = self_addr, self_id, self_addr, 0
+        d = (self_id - t_id) % size
+        current_dis = d if d <= half else size - d
+
+        for naddr, new in by_topic.get(topic, ()):
+            d = (new.gw_id - t_id) % size
+            new_dis = d if d <= half else size - d
+            new_hops = new.hops + 1
+            if new_dis < current_dis and new_hops < depth:
+                gw_addr, gw_id, parent_addr, hops = new.gw_addr, new.gw_id, naddr, new_hops
+                current_dis = new_dis
+            elif new.gw_addr == gw_addr and new_hops < hops:
+                gw_addr, gw_id, parent_addr, hops = new.gw_addr, new.gw_id, naddr, new_hops
+
+        new_proposals[topic] = Proposal(gw_addr, gw_id, parent_addr, hops)
         if stats is not None:
             stats.proposals += 1
-            if prop.gw_addr == self_addr:
+            if gw_addr == self_addr:
                 stats.self_proposals += 1
             else:
                 stats.adoptions += 1

@@ -35,14 +35,25 @@ class IdSpace:
     entire simulation so every component agrees on the geometry.
     """
 
-    __slots__ = ("bits", "size", "_mask")
+    __slots__ = ("bits", "size", "half", "_mask", "_hash_cache", "_node_ids", "_topic_ids")
 
     def __init__(self, bits: int = DEFAULT_BITS) -> None:
         if not 8 <= bits <= 160:
             raise ValueError("bits must be in [8, 160]")
         self.bits = bits
         self.size = 1 << bits
+        #: Half the ring — the hinge of the bidirectional distance; hot
+        #: loops hoist ``size``/``half`` into locals and inline the
+        #: distance arithmetic instead of calling :meth:`distance`.
+        self.half = self.size >> 1
         self._mask = self.size - 1
+        # Interning caches.  Hashing is pure (same key → same id forever)
+        # and the key population is bounded by nodes + topics, so the
+        # caches never need invalidation; unhashable keys fall through
+        # uncached.
+        self._hash_cache: dict = {}
+        self._node_ids: dict = {}
+        self._topic_ids: dict = {}
 
     # ------------------------------------------------------------------
     # Hashing
@@ -50,17 +61,37 @@ class IdSpace:
     def hash_key(self, key) -> int:
         """Uniformly hash an arbitrary key (topic name, address, …) into
         the space.  Deterministic across processes."""
-        data = repr(key).encode("utf-8")
-        digest = hashlib.blake2b(data, digest_size=20).digest()
-        return int.from_bytes(digest, "big") % self.size
+        try:
+            cached = self._hash_cache.get(key)
+        except TypeError:  # unhashable key: compute without interning
+            data = repr(key).encode("utf-8")
+            digest = hashlib.blake2b(data, digest_size=20).digest()
+            return int.from_bytes(digest, "big") % self.size
+        if cached is None:
+            data = repr(key).encode("utf-8")
+            digest = hashlib.blake2b(data, digest_size=20).digest()
+            cached = int.from_bytes(digest, "big") % self.size
+            self._hash_cache[key] = cached
+        return cached
 
     def node_id(self, address: int) -> int:
         """The overlay id of the node at ``address``."""
-        return self.hash_key(("node", address))
+        cached = self._node_ids.get(address)
+        if cached is None:
+            cached = self.hash_key(("node", address))
+            self._node_ids[address] = cached
+        return cached
 
     def topic_id(self, topic) -> int:
         """The overlay id of a topic — the paper's ``hash(t)``."""
-        return self.hash_key(("topic", topic))
+        try:
+            cached = self._topic_ids.get(topic)
+        except TypeError:
+            return self.hash_key(("topic", topic))
+        if cached is None:
+            cached = self.hash_key(("topic", topic))
+            self._topic_ids[topic] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Geometry
@@ -68,7 +99,7 @@ class IdSpace:
     def distance(self, a: int, b: int) -> int:
         """Circular distance: ``min(|a-b|, size - |a-b|)``."""
         d = (a - b) % self.size
-        return min(d, self.size - d)
+        return d if d <= self.half else self.size - d
 
     def clockwise(self, a: int, b: int) -> int:
         """Directed distance travelling clockwise from ``a`` to ``b``.
@@ -102,14 +133,25 @@ class IdSpace:
     def closest(self, target: int, ids: Iterable[int]) -> Optional[int]:
         """The id among ``ids`` with minimal circular distance to
         ``target`` (ties broken toward the numerically smaller id)."""
+        size = self.size
+        half = self.half
         best = None
         best_d = None
         for i in ids:
-            d = self.distance(i, target)
+            d = (i - target) % size
+            if d > half:
+                d = size - d
             if best_d is None or d < best_d or (d == best_d and i < best):
                 best, best_d = i, d
         return best
 
     def rank_by_distance(self, target: int, ids: Iterable[int]) -> List[int]:
         """ids sorted by ascending circular distance to ``target``."""
-        return sorted(ids, key=lambda i: (self.distance(i, target), i))
+        size = self.size
+        half = self.half
+
+        def key(i: int):
+            d = (i - target) % size
+            return (d if d <= half else size - d, i)
+
+        return sorted(ids, key=key)

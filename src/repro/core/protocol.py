@@ -557,7 +557,19 @@ class OverlayProtocolBase:
         if not live:
             return None
         tid = self.topic_id(topic)
-        return min(live, key=lambda a: (self.space.distance(self.nodes[a].node_id, tid), a))
+        size = self.space.size
+        half = size >> 1
+        nodes = self.nodes
+        best = None
+        best_key = None
+        for a in live:
+            d = (nodes[a].node_id - tid) % size
+            if d > half:
+                d = size - d
+            key = (d, a)
+            if best_key is None or key < best_key:
+                best, best_key = a, key
+        return best
 
     # ------------------------------------------------------------------
     # Publishing (strategy hook)
@@ -821,6 +833,13 @@ class VitisProtocol(OverlayProtocolBase):
         tel = self.telemetry
         stats = ElectionStats() if tel.enabled else None
         results = {}
+        # Per-round snapshots, built once instead of once per (topic,
+        # neighbor) pair: last-known subscriptions (stale for dead nodes,
+        # matching profile_of) and previous-round proposals (reads stay
+        # two-phase — every node sees round t-1 state because commits
+        # happen only after all elect_round calls return).
+        subs_of = {a: n.profile.subscriptions for a, n in self.nodes.items()}
+        proposals_of = {a: n.gw_state.proposals for a, n in self.nodes.items()}
         for a in self.live_addresses():
             node = self.nodes[a]
             results[a] = elect_round(
@@ -828,11 +847,12 @@ class VitisProtocol(OverlayProtocolBase):
                 node.gw_state,
                 node.profile.subscriptions,
                 node.rt,
-                neighbor_subscriptions=self._neighbor_subs,
+                neighbor_subscriptions=subs_of.__getitem__,
                 neighbor_proposal=self._neighbor_proposal,
                 topic_ids=self.topic_id,
                 depth=self.config.gateway_depth,
                 stats=stats,
+                neighbor_proposals=proposals_of,
             )
         changed = 0
         if stats is not None and tel.tracing:

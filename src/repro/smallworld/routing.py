@@ -84,9 +84,16 @@ def greedy_route(
     current_addr, current_id = start_addr, start_id
     visited = {start_addr}
     result.path.append(start_addr)
+    # Ring distances to the (fixed) target are recomputed for every
+    # neighbor at every hop — hoist the modulus out of the walk and
+    # inline the arithmetic rather than paying a method call per edge.
+    size = space.size
+    half = size >> 1
 
     for _ in range(max_hops):
-        current_d = space.distance(current_id, target_id)
+        current_d = (current_id - target_id) % size
+        if current_d > half:
+            current_d = size - current_d
         if current_d == 0:
             result.success = True
             return result
@@ -95,7 +102,9 @@ def greedy_route(
             for naddr, nid in neighbors_of(current_addr):
                 if naddr in visited or not is_alive(naddr):
                     continue
-                d = space.distance(nid, target_id)
+                d = (nid - target_id) % size
+                if d > half:
+                    d = size - d
                 # Strict improvement required; ties broken by smaller address
                 # so concurrent lookups from different sources converge to the
                 # same rendezvous node (lookup consistency).
@@ -103,7 +112,7 @@ def greedy_route(
                     best_addr, best_id, best_d = naddr, nid, d
         else:
             candidates = sorted(
-                (space.distance(nid, target_id), naddr, nid)
+                (min((nid - target_id) % size, (target_id - nid) % size), naddr, nid)
                 for naddr, nid in neighbors_of(current_addr)
                 if naddr not in visited and is_alive(naddr)
             )
