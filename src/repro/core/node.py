@@ -188,7 +188,7 @@ class VitisNode(BaseNode):
         """Alg. 2 lines 3-4: fresh samples merged with the routing table."""
         pool: Dict[int, Descriptor] = {}
         for d in self.ps.sample(self.config.sample_size):
-            pool[d.address] = d.copy()
+            pool[d.address] = d
         for e in self.rt:
             cur = pool.get(e.address)
             if cur is None or e.age < cur.age:

@@ -64,7 +64,7 @@ class RoutingTable:
     selection logic in :mod:`repro.core.node`, not here.
     """
 
-    __slots__ = ("owner", "max_size", "_entries")
+    __slots__ = ("owner", "max_size", "_entries", "_links")
 
     def __init__(self, owner: int, max_size: int) -> None:
         if max_size < 1:
@@ -72,6 +72,10 @@ class RoutingTable:
         self.owner = owner
         self.max_size = max_size
         self._entries: Dict[int, RTEntry] = {}
+        #: Memoised links() result; dropped whenever membership changes
+        #: (replace / remove / eviction).  Heartbeats only touch entry
+        #: ages, which links() does not expose, so they keep the cache.
+        self._links: Optional[List[Tuple[int, int]]] = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -99,8 +103,20 @@ class RoutingTable:
         return [e.descriptor for e in self._entries.values()]
 
     def links(self) -> List[Tuple[int, int]]:
-        """(address, node_id) pairs — the shape greedy routing consumes."""
-        return [(e.descriptor.address, e.descriptor.node_id) for e in self._entries.values()]
+        """(address, node_id) pairs — the shape greedy routing consumes.
+
+        The list is cached between membership changes and shared across
+        calls; treat it as read-only.  Greedy lookups call this once per
+        hop, so rebuilding it each time dominated routing cost.
+        """
+        cached = self._links
+        if cached is None:
+            cached = [
+                (e.descriptor.address, e.descriptor.node_id)
+                for e in self._entries.values()
+            ]
+            self._links = cached
+        return cached
 
     def by_kind(self, kind: LinkKind) -> List[RTEntry]:
         return [e for e in self._entries.values() if e.kind is kind]
@@ -136,11 +152,18 @@ class RoutingTable:
                 raise ValueError(f"duplicate neighbor {desc.address} in selection")
             old = self._entries.get(desc.address)
             age = old.age if old is not None else desc.age
-            new[desc.address] = RTEntry(desc.copy(), kind, age)
+            # Descriptors are value objects that nothing mutates in place
+            # (the columnar PartialView stores fields, not references), so
+            # the entry can hold the selected descriptor directly.
+            new[desc.address] = RTEntry(desc, kind, age)
         self._entries = new
+        self._links = None
 
     def remove(self, address: int) -> bool:
-        return self._entries.pop(address, None) is not None
+        if self._entries.pop(address, None) is not None:
+            self._links = None
+            return True
+        return False
 
     def heartbeat(self, address: int) -> None:
         """Record a profile message from ``address`` (age back to 0)."""
@@ -156,12 +179,15 @@ class RoutingTable:
         this period".  Returns the evicted addresses.
         """
         evicted = []
-        for addr, e in list(self._entries.items()):
+        for addr, e in self._entries.items():
             if is_alive(addr):
                 e.age = 0
             else:
                 e.age += 1
                 if e.age > threshold:
-                    del self._entries[addr]
                     evicted.append(addr)
+        for addr in evicted:
+            del self._entries[addr]
+        if evicted:
+            self._links = None
         return evicted

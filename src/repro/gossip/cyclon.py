@@ -77,9 +77,10 @@ class CyclonService:
             return None
 
         peer = registry[peer_addr]
-        out = self.view.sample(self.shuffle_len - 1, self.rng)
-        out = [d.copy() for d in out] + [self.descriptor()]
-        back = [d.copy() for d in peer.view.sample(self.shuffle_len, peer.rng)]
+        # sample() hands out caller-owned descriptors, so the shuffle
+        # subsets need no defensive copies.
+        out = self.view.sample(self.shuffle_len - 1, self.rng) + [self.descriptor()]
+        back = peer.view.sample(self.shuffle_len, peer.rng)
 
         # Peer absorbs our subset, bounded by its view size, preferring to
         # replace the entries it sent us.

@@ -102,9 +102,10 @@ class PeerSamplingService:
             return None
 
         peer = registry[peer_addr]
-        # Snapshot both sides before mutation so the exchange is symmetric.
-        mine = [d.copy() for d in self.view] + [self.descriptor()]
-        theirs = [d.copy() for d in peer.view] + [peer.descriptor()]
+        # Snapshot both sides before mutation so the exchange is symmetric
+        # (descriptors() returns caller-owned copies by construction).
+        mine = self.view.descriptors() + [self.descriptor()]
+        theirs = peer.view.descriptors() + [peer.descriptor()]
 
         self.view.merge(theirs, exclude=self.address)
         self.view.trim(self.rng)

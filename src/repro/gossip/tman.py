@@ -103,7 +103,7 @@ class TManService:
                 continue
             cur = pool.get(d.address)
             if cur is None or d.age < cur.age:
-                pool[d.address] = d.copy()
+                pool[d.address] = d
         return list(pool.values())
 
     def _reselect(self, candidates: List[Descriptor]) -> None:
@@ -112,7 +112,9 @@ class TManService:
             raise ValueError(
                 f"selection returned {len(chosen)} > view size {self.view.max_size}"
             )
-        self.view = PartialView(self.view.max_size, (d.copy() for d in chosen))
+        # The columnar view copies descriptor fields on insert, so the
+        # chosen buffer entries are never aliased by the new view.
+        self.view = PartialView(self.view.max_size, chosen)
 
     # ------------------------------------------------------------------
     def step(

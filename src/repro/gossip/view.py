@@ -5,6 +5,22 @@ its overlay id, and an *age* counting gossip rounds since the information
 was fresh.  A :class:`PartialView` is a bounded collection of descriptors,
 at most one per address, that prefers fresh information when merging — the
 mechanism through which dead nodes eventually evaporate from the system.
+
+Storage is *columnar*: a view keeps three parallel lists (addresses, ids,
+ages) plus an address → slot index, not Descriptor objects.  The hot
+per-cycle operations (age-all, merge, trim) then run as single passes over
+plain int lists instead of method calls over heap objects, and — because
+only scalars are stored — inserting a descriptor copies its fields by
+construction.  Two views can therefore never alias mutable state through a
+shared Descriptor: ``age_all`` on one is invisible to the other.  Accessors
+(:meth:`PartialView.get`, iteration, :meth:`PartialView.sample`, …)
+materialise fresh Descriptor objects on the way out, so callers own what
+they receive and no longer need defensive copies.
+
+Slot order mirrors dict insertion-order semantics exactly (new address
+appends; updating a known address keeps its slot; removal is an ordered
+delete), so iteration order — and with it every rng draw made over the
+view — is identical to the previous dict-backed implementation.
 """
 
 from __future__ import annotations
@@ -54,13 +70,16 @@ class PartialView:
     :meth:`trim` (keep freshest) or apply their own selection.
     """
 
-    __slots__ = ("max_size", "_entries")
+    __slots__ = ("max_size", "_addrs", "_ids", "_ages", "_slot")
 
     def __init__(self, max_size: int, entries: Iterable[Descriptor] = ()) -> None:
         if max_size < 1:
             raise ValueError("view size must be >= 1")
         self.max_size = max_size
-        self._entries: Dict[int, Descriptor] = {}
+        self._addrs: List[int] = []
+        self._ids: List[int] = []
+        self._ages: List[int] = []
+        self._slot: Dict[int, int] = {}
         for d in entries:
             self.insert(d)
 
@@ -68,57 +87,96 @@ class PartialView:
     # Basic container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._addrs)
 
     def __iter__(self) -> Iterator[Descriptor]:
-        return iter(self._entries.values())
+        addrs, ids, ages = self._addrs, self._ids, self._ages
+        for i in range(len(addrs)):
+            yield Descriptor(addrs[i], ids[i], ages[i])
 
     def __contains__(self, address: int) -> bool:
-        return address in self._entries
+        return address in self._slot
 
     def get(self, address: int) -> Optional[Descriptor]:
-        return self._entries.get(address)
+        i = self._slot.get(address)
+        if i is None:
+            return None
+        return Descriptor(address, self._ids[i], self._ages[i])
 
     @property
     def addresses(self) -> List[int]:
-        return list(self._entries)
+        return list(self._addrs)
 
     def descriptors(self) -> List[Descriptor]:
-        """A snapshot list of the current entries."""
-        return list(self._entries.values())
+        """A snapshot list of the current entries (caller-owned objects)."""
+        addrs, ids, ages = self._addrs, self._ids, self._ages
+        return [Descriptor(addrs[i], ids[i], ages[i]) for i in range(len(addrs))]
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, desc: Descriptor) -> None:
         """Insert a descriptor; if the address is known, keep the fresher
-        (lower-age) information."""
-        cur = self._entries.get(desc.address)
-        if cur is None or desc.age < cur.age:
-            self._entries[desc.address] = desc
+        (lower-age) information.  Fields are copied — the view never holds
+        a reference to ``desc``."""
+        addr = desc.address
+        i = self._slot.get(addr)
+        if i is None:
+            self._slot[addr] = len(self._addrs)
+            self._addrs.append(addr)
+            self._ids.append(desc.node_id)
+            self._ages.append(desc.age)
+        elif desc.age < self._ages[i]:
+            self._ids[i] = desc.node_id
+            self._ages[i] = desc.age
 
     def merge(self, descriptors: Iterable[Descriptor], exclude: int = -1) -> None:
         """Insert many descriptors, skipping address ``exclude`` (a node
         never keeps a descriptor of itself)."""
+        slot = self._slot
+        addrs, ids, ages = self._addrs, self._ids, self._ages
         for d in descriptors:
-            if d.address != exclude:
-                self.insert(d)
+            addr = d.address
+            if addr == exclude:
+                continue
+            i = slot.get(addr)
+            if i is None:
+                slot[addr] = len(addrs)
+                addrs.append(addr)
+                ids.append(d.node_id)
+                ages.append(d.age)
+            elif d.age < ages[i]:
+                ids[i] = d.node_id
+                ages[i] = d.age
 
     def remove(self, address: int) -> bool:
-        """Drop the entry for ``address`` if present."""
-        return self._entries.pop(address, None) is not None
+        """Drop the entry for ``address`` if present (ordered delete)."""
+        i = self._slot.pop(address, None)
+        if i is None:
+            return False
+        addrs = self._addrs
+        del addrs[i]
+        del self._ids[i]
+        del self._ages[i]
+        slot = self._slot
+        for j in range(i, len(addrs)):
+            slot[addrs[j]] = j
+        return True
 
     def age_all(self, by: int = 1) -> None:
-        """Increase every entry's age (a gossip round passed)."""
-        for d in self._entries.values():
-            d.age += by
+        """Increase every entry's age (a gossip round passed) — one
+        vectorised pass over the age column."""
+        self._ages = [a + by for a in self._ages]
 
     def drop_older_than(self, max_age: int) -> int:
         """Remove entries with ``age > max_age``; returns how many."""
-        stale = [a for a, d in self._entries.items() if d.age > max_age]
-        for a in stale:
-            del self._entries[a]
-        return len(stale)
+        ages = self._ages
+        n = len(ages)
+        keep = [i for i in range(n) if ages[i] <= max_age]
+        dropped = n - len(keep)
+        if dropped:
+            self._rebuild(keep)
+        return dropped
 
     def trim(self, rng=None) -> None:
         """Shrink to ``max_size`` keeping the freshest entries.
@@ -129,35 +187,57 @@ class PartialView:
         collective knowledge collapses onto a small core.  Without ``rng``
         ties break by address — acceptable only for one-shot trims.
         """
-        if len(self._entries) <= self.max_size:
+        n = len(self._addrs)
+        if n <= self.max_size:
             return
+        addrs, ages = self._addrs, self._ages
+        # Keys are evaluated in slot (= insertion) order, so the rng draw
+        # sequence matches a per-entry scan of the old dict layout.
         if rng is None:
-            key = lambda d: (d.age, d.address)
+            order = sorted(range(n), key=lambda i: (ages[i], addrs[i]))
         else:
-            key = lambda d: (d.age, rng.random())
-        keep = sorted(self._entries.values(), key=key)
-        self._entries = {d.address: d for d in keep[: self.max_size]}
+            order = sorted(range(n), key=lambda i: (ages[i], rng.random()))
+        self._rebuild(order[: self.max_size])
+
+    def _rebuild(self, keep: List[int]) -> None:
+        """Re-pack the columns to the given slots, in the given order."""
+        addrs, ids, ages = self._addrs, self._ids, self._ages
+        self._addrs = [addrs[i] for i in keep]
+        self._ids = [ids[i] for i in keep]
+        self._ages = [ages[i] for i in keep]
+        self._slot = {a: j for j, a in enumerate(self._addrs)}
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
     def random_descriptor(self, rng) -> Optional[Descriptor]:
         """A uniformly random entry, or None if empty."""
-        if not self._entries:
+        addrs = self._addrs
+        if not addrs:
             return None
-        addr = rng.choice(list(self._entries))
-        return self._entries[addr]
+        addr = rng.choice(addrs)
+        i = self._slot[addr]
+        return Descriptor(addr, self._ids[i], self._ages[i])
 
     def oldest_descriptor(self) -> Optional[Descriptor]:
         """The entry with the largest age (ties broken by address)."""
-        if not self._entries:
+        addrs, ages = self._addrs, self._ages
+        n = len(addrs)
+        if not n:
             return None
-        return max(self._entries.values(), key=lambda d: (d.age, -d.address))
+        best = 0
+        best_age, best_addr = ages[0], addrs[0]
+        for i in range(1, n):
+            age = ages[i]
+            if age > best_age or (age == best_age and addrs[i] < best_addr):
+                best, best_age, best_addr = i, age, addrs[i]
+        return Descriptor(best_addr, self._ids[best], best_age)
 
     def sample(self, n: int, rng) -> List[Descriptor]:
         """Up to ``n`` distinct entries, uniformly at random."""
-        entries = list(self._entries.values())
-        if len(entries) <= n:
-            return entries
-        idx = rng.sample(range(len(entries)), n)
-        return [entries[i] for i in idx]
+        addrs, ids, ages = self._addrs, self._ids, self._ages
+        count = len(addrs)
+        if count <= n:
+            return self.descriptors()
+        idx = rng.sample(range(count), n)
+        return [Descriptor(addrs[i], ids[i], ages[i]) for i in idx]

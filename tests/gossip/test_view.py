@@ -91,6 +91,33 @@ class TestAging:
         assert len(v) == 1
 
 
+class TestNoAliasing:
+    """Views must never share mutable state — neither with each other nor
+    with descriptors handed in or out (regression for the descriptor
+    aliasing bug: two views built from one Descriptor list used to age
+    together)."""
+
+    def test_two_views_sharing_descriptors_age_independently(self):
+        shared = [d(1, 2), d(2, 0)]
+        a = PartialView(5, shared)
+        b = PartialView(5, shared)
+        a.age_all()
+        assert a.get(1).age == 3 and a.get(2).age == 1
+        assert b.get(1).age == 2 and b.get(2).age == 0
+
+    def test_inserted_descriptor_not_retained(self):
+        desc = d(1, age=0)
+        v = PartialView(5, [desc])
+        desc.age = 99
+        assert v.get(1).age == 0
+
+    def test_returned_descriptors_are_snapshots(self):
+        v = PartialView(5, [d(1, 2)])
+        for got in (v.get(1), v.descriptors()[0], next(iter(v))):
+            got.age = 77
+        assert v.get(1).age == 2
+
+
 class TestSampling:
     def test_random_descriptor_empty(self, rng):
         assert PartialView(3).random_descriptor(rng) is None
