@@ -168,7 +168,7 @@ class DeployedVitisNode(VitisNode):
                 self.neighbor_state.pop(entry.address, None)
 
         # --- election against last-received neighbor state (Alg. 5) ----
-        self.gw_state.proposals = elect_round(
+        self.gw_state.commit(elect_round(
             self.space,
             self.gw_state,
             self.profile.subscriptions,
@@ -177,7 +177,7 @@ class DeployedVitisNode(VitisNode):
             neighbor_proposal=self._known_proposal,
             topic_ids=self.system.topic_id,
             depth=self.config.gateway_depth,
-        )
+        ))
 
         # --- profile/heartbeat messages with piggybacked proposals ------
         # Alg. 6/7 is request/response: the neighbor's reply is what

@@ -30,7 +30,6 @@ already rules out cyclic adoption of distinct gateways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
 from repro.core.identifiers import IdSpace
@@ -39,17 +38,44 @@ from repro.core.routing_table import RoutingTable
 __all__ = ["Proposal", "GatewayState", "ElectionStats", "elect_round"]
 
 
-@dataclass(frozen=True)
 class Proposal:
-    """A gateway proposal for one topic, as held by one node."""
+    """A gateway proposal for one topic, as held by one node.
 
-    gw_addr: int
-    gw_id: int
-    parent_addr: int
-    hops: int
+    Value object, treated as immutable.  A plain ``__slots__`` class
+    rather than a frozen dataclass: election re-creates one proposal per
+    (node, topic) every round, and the frozen-dataclass ``__init__``
+    (``object.__setattr__`` per field) was a measurable share of the
+    round.
+    """
+
+    __slots__ = ("gw_addr", "gw_id", "parent_addr", "hops")
+
+    def __init__(self, gw_addr: int, gw_id: int, parent_addr: int, hops: int) -> None:
+        self.gw_addr = gw_addr
+        self.gw_id = gw_id
+        self.parent_addr = parent_addr
+        self.hops = hops
 
     def is_self_proposal(self, address: int) -> bool:
         return self.gw_addr == address
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Proposal)
+            and self.gw_addr == other.gw_addr
+            and self.gw_id == other.gw_id
+            and self.parent_addr == other.parent_addr
+            and self.hops == other.hops
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.gw_addr, self.gw_id, self.parent_addr, self.hops))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Proposal(gw_addr={self.gw_addr}, gw_id={self.gw_id}, "
+            f"parent_addr={self.parent_addr}, hops={self.hops})"
+        )
 
 
 class ElectionStats:
@@ -78,12 +104,39 @@ class ElectionStats:
 class GatewayState:
     """Per-node election state: ``topic → Proposal``."""
 
-    __slots__ = ("address", "node_id", "proposals")
+    __slots__ = ("address", "node_id", "proposals", "version", "_self_props")
+
+    #: Monotonic stamp source shared by every state object, so a version
+    #: uniquely identifies one proposal-map content even across node
+    #: rejoin (which builds a fresh GatewayState).
+    _stamp = 0
 
     def __init__(self, address: int, node_id: int) -> None:
         self.address = address
         self.node_id = node_id
         self.proposals: Dict[int, Proposal] = {}
+        #: Bumped whenever ``proposals`` may have changed content; equal
+        #: versions guarantee equal content (the election result cache
+        #: keys on it).
+        self.version = self._bump()
+        #: Pool of this node's own ``(self, self, 0)`` proposals, one per
+        #: topic.  Proposals are immutable and the pooled fields depend
+        #: only on ``address``/``node_id``, which never change for a state
+        #: object — so the pool needs no invalidation, ever.
+        self._self_props: Dict[int, Proposal] = {}
+
+    @classmethod
+    def _bump(cls) -> int:
+        cls._stamp += 1
+        return cls._stamp
+
+    def commit(self, proposals: Dict[int, Proposal]) -> None:
+        """Install a new round's proposal map, bumping :attr:`version`
+        only when the content actually changed (Alg. 5 reaches a fixed
+        point quickly, so consecutive rounds are often identical)."""
+        if proposals != self.proposals:
+            self.proposals = proposals
+            self.version = self._bump()
 
     def get(self, topic: int) -> Optional[Proposal]:
         return self.proposals.get(topic)
@@ -107,9 +160,13 @@ class GatewayState:
         ]
         for t in stale:
             del self.proposals[t]
+        if stale:
+            self.version = self._bump()
         return stale
 
     def clear(self) -> None:
+        if self.proposals:
+            self.version = self._bump()
         self.proposals.clear()
 
 
@@ -201,30 +258,48 @@ def elect_round(
             by_topic.setdefault(topic, []).append((naddr, new))
 
     # Pass 2 — per topic: the order-sensitive adoption scan over the
-    # pre-filtered candidates, ring distances inlined.
+    # pre-filtered candidates, ring distances inlined.  Whenever the scan
+    # ends on self — including the common case of no candidates at all —
+    # the resulting proposal is always ``(self, self, self, 0)``: once the
+    # scan adopts a strictly closer gateway it can never return to self
+    # (self's distance is no longer strictly smaller, and the
+    # hop-shortening branch needs hops < 0 while gw is still self).  Those
+    # proposals are pooled per topic on the state instead of reallocated
+    # every round.
+    self_props = state._self_props
     for topic in subscriptions:
-        t_id = topic_ids(topic)
-        # Alg. 5 line 3: restart from self each round.
-        gw_addr, gw_id, parent_addr, hops = self_addr, self_id, self_addr, 0
-        d = (self_id - t_id) % size
-        current_dis = d if d <= half else size - d
+        cands = by_topic.get(topic)
+        if cands:
+            t_id = topic_ids(topic)
+            # Alg. 5 line 3: restart from self each round.
+            gw_addr, gw_id, parent_addr, hops = self_addr, self_id, self_addr, 0
+            d = (self_id - t_id) % size
+            current_dis = d if d <= half else size - d
 
-        for naddr, new in by_topic.get(topic, ()):
-            d = (new.gw_id - t_id) % size
-            new_dis = d if d <= half else size - d
-            new_hops = new.hops + 1
-            if new_dis < current_dis and new_hops < depth:
-                gw_addr, gw_id, parent_addr, hops = new.gw_addr, new.gw_id, naddr, new_hops
-                current_dis = new_dis
-            elif new.gw_addr == gw_addr and new_hops < hops:
-                gw_addr, gw_id, parent_addr, hops = new.gw_addr, new.gw_id, naddr, new_hops
+            for naddr, new in cands:
+                d = (new.gw_id - t_id) % size
+                new_dis = d if d <= half else size - d
+                new_hops = new.hops + 1
+                if new_dis < current_dis and new_hops < depth:
+                    gw_addr, gw_id, parent_addr, hops = new.gw_addr, new.gw_id, naddr, new_hops
+                    current_dis = new_dis
+                elif new.gw_addr == gw_addr and new_hops < hops:
+                    gw_addr, gw_id, parent_addr, hops = new.gw_addr, new.gw_id, naddr, new_hops
+        else:
+            gw_addr = self_addr
 
-        new_proposals[topic] = Proposal(gw_addr, gw_id, parent_addr, hops)
-        if stats is not None:
-            stats.proposals += 1
-            if gw_addr == self_addr:
+        if gw_addr == self_addr:
+            p = self_props.get(topic)
+            if p is None:
+                p = self_props[topic] = Proposal(self_addr, self_id, self_addr, 0)
+            new_proposals[topic] = p
+            if stats is not None:
+                stats.proposals += 1
                 stats.self_proposals += 1
-            else:
+        else:
+            new_proposals[topic] = Proposal(gw_addr, gw_id, parent_addr, hops)
+            if stats is not None:
+                stats.proposals += 1
                 stats.adoptions += 1
 
     return new_proposals

@@ -17,6 +17,7 @@ protocol passes in, mirroring what a real deployment can know.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import VitisConfig
@@ -29,8 +30,6 @@ from repro.core.utility import UtilityFunction
 from repro.gossip.peer_sampling import PeerSamplingService
 from repro.gossip.view import Descriptor
 from repro.sim.node import BaseNode
-from repro.smallworld.ring import find_predecessor, find_successor
-from repro.smallworld.symphony import closest_to_target, draw_sw_target
 
 __all__ = ["VitisNode"]
 
@@ -51,6 +50,7 @@ class VitisNode(BaseNode):
         "rng",
         "n_estimate",
         "seen_events",
+        "_umemo",
     )
 
     def __init__(
@@ -78,6 +78,9 @@ class VitisNode(BaseNode):
         self.gw_state = GatewayState(address, node_id)
         self.relay = RelayTable(address)
         self.n_estimate = max(2, config.n_estimate)
+        #: Utility memo: addr -> (my profile version, other profile
+        #: version, rates version, utility).  See _select_from_pool.
+        self._umemo: Dict[int, tuple] = {}
         #: Event ids already handled (duplicate suppression in the
         #: message-level dissemination path).
         self.seen_events: set = set()
@@ -129,43 +132,119 @@ class VitisNode(BaseNode):
         pick removes the candidate from the pool, so one neighbor fills at
         most one slot.
         """
-        pool: Dict[int, Descriptor] = {
-            d.address: d for d in candidates if d.address != self.address
+        pool: Dict[int, tuple] = {
+            d.address: (d.node_id, d.age)
+            for d in candidates
+            if d.address != self.address
         }
+        return self._select_from_pool(pool, profile_of)
+
+    def _select_from_pool(
+        self,
+        pool: Dict[int, tuple],
+        profile_of: Callable[[int], Optional[NodeProfile]],
+    ) -> List[Tuple[Descriptor, LinkKind]]:
+        """Alg. 4 over an ``address → (node_id, age)`` pool (consumed
+        destructively); Descriptors are built only for the winners.
+
+        Successor and predecessor are found in one fused pass: both are
+        minima by (ring distance, address), so we track the best successor
+        plus the two best predecessor candidates — the runner-up covers the
+        case where the winner is claimed by the successor slot first (the
+        sequential formulation removes the successor from the pool before
+        scanning for the predecessor).
+
+        The small-world draw (harmonic fraction → target id → closest
+        candidate) and the friends ranking are inlined: at bench scale the
+        pools are a dozen entries, where helper-call overhead costs more
+        than the arithmetic itself.  Utilities are memoised per neighbor
+        under the (own profile version, neighbor profile version, rates
+        version) triple, so the Eq. 1 evaluation runs once per neighbor
+        per subscription change instead of once per ranking.
+        """
         selection: List[Tuple[Descriptor, LinkKind]] = []
+        self_id = self.node_id
+        size = self.space.size
 
-        succ = find_successor(self.space, self.node_id, pool.values())
-        if succ is not None:
-            selection.append((succ, LinkKind.SUCCESSOR))
-            del pool[succ.address]
+        best_s = None  # (cw, address, (node_id, age))
+        best_p = None  # (ccw, address, (node_id, age))
+        second_p = None
+        for addr, t in pool.items():
+            cw = (t[0] - self_id) % size
+            if cw == 0:
+                continue
+            if best_s is None or cw < best_s[0] or (cw == best_s[0] and addr < best_s[1]):
+                best_s = (cw, addr, t)
+            ccw = size - cw
+            if best_p is None or ccw < best_p[0] or (ccw == best_p[0] and addr < best_p[1]):
+                second_p = best_p
+                best_p = (ccw, addr, t)
+            elif second_p is None or ccw < second_p[0] or (ccw == second_p[0] and addr < second_p[1]):
+                second_p = (ccw, addr, t)
 
-        pred = find_predecessor(self.space, self.node_id, pool.values())
-        if pred is not None:
-            selection.append((pred, LinkKind.PREDECESSOR))
-            del pool[pred.address]
+        if best_s is not None:
+            addr, t = best_s[1], best_s[2]
+            selection.append((Descriptor(addr, t[0], t[1]), LinkKind.SUCCESSOR))
+            del pool[addr]
+            if best_p is not None and best_p[1] == addr:
+                best_p = second_p
+        if best_p is not None:
+            addr, t = best_p[1], best_p[2]
+            selection.append((Descriptor(addr, t[0], t[1]), LinkKind.PREDECESSOR))
+            del pool[addr]
 
+        # Symphony links: draw_sw_target + closest_to_target, inlined.
+        rng = self.rng
+        n_est = int(self.n_estimate)
+        half = size >> 1
         for _ in range(self.config.n_sw_links):
             if not pool:
                 break
-            target = draw_sw_target(self.space, self.node_id, self.rng, self.n_estimate)
-            pick = closest_to_target(self.space, target, pool.values())
-            if pick is None:
+            frac = math.pow(n_est, rng.random() - 1.0)
+            delta = int(frac * size)
+            target = (self_id + (delta if delta > 1 else 1)) % size
+            pick_a = None
+            pick_t = None
+            pick_d = None
+            for addr, t in pool.items():
+                dist = (t[0] - target) % size
+                if dist > half:
+                    dist = size - dist
+                if pick_d is None or dist < pick_d or (dist == pick_d and addr < pick_a):
+                    pick_a, pick_t, pick_d = addr, t, dist
+            if pick_a is None:
                 break
-            selection.append((pick, LinkKind.SW))
-            del pool[pick.address]
+            selection.append((Descriptor(pick_a, pick_t[0], pick_t[1]), LinkKind.SW))
+            del pool[pick_a]
 
         n_friends = self.config.rt_size - len(selection)
         if n_friends > 0 and pool:
-            ranked = sorted(
-                pool.values(),
-                key=lambda d: (
-                    -self._utility_to(d.address, profile_of),
-                    d.age,
-                    d.address,
-                ),
-            )
-            for d in ranked[:n_friends]:
-                selection.append((d, LinkKind.FRIEND))
+            util = self.utility
+            my_prof = self.profile
+            my_ver = my_prof.version
+            rates_ver = util._rates_version()
+            memo = self._umemo
+            keyed = []
+            for addr, t in pool.items():
+                other = profile_of(addr)
+                if other is None:
+                    u = 0.0
+                else:
+                    e = memo.get(addr)
+                    if (
+                        e is not None
+                        and e[0] == my_ver
+                        and e[1] == other.version
+                        and e[2] == rates_ver
+                    ):
+                        u = e[3]
+                    else:
+                        u = util(my_prof, other)
+                        memo[addr] = (my_ver, other.version, rates_ver, u)
+                keyed.append((-u, t[1], addr, t[0]))
+            keyed.sort()
+            for item in keyed[:n_friends]:
+                selection.append((Descriptor(item[2], item[3], item[1]), LinkKind.FRIEND))
 
         return selection
 
@@ -186,15 +265,33 @@ class VitisNode(BaseNode):
     # ------------------------------------------------------------------
     def exchange_buffer(self) -> List[Descriptor]:
         """Alg. 2 lines 3-4: fresh samples merged with the routing table."""
-        pool: Dict[int, Descriptor] = {}
-        for d in self.ps.sample(self.config.sample_size):
-            pool[d.address] = d
+        return [
+            Descriptor(addr, nid, age)
+            for addr, (nid, age) in self._exchange_pool().items()
+        ]
+
+    def _exchange_pool(self) -> Dict[int, tuple]:
+        """The exchange buffer as ``address → (node_id, age)`` (insertion
+        order = the list order :meth:`exchange_buffer` reports).  Kept
+        columnar end-to-end: samples arrive as field tuples and the
+        selection pass builds Descriptors only for the winners."""
+        pool: Dict[int, tuple] = {}
+        sample_fields = getattr(self.ps, "sample_fields", None)
+        if sample_fields is not None:
+            for t in sample_fields(self.config.sample_size):
+                pool[t[0]] = (t[1], t[2])
+        else:  # duck-typed samplers (tests swap in Cyclon)
+            for d in self.ps.sample(self.config.sample_size):
+                pool[d.address] = (d.node_id, d.age)
         for e in self.rt:
-            cur = pool.get(e.address)
-            if cur is None or e.age < cur.age:
-                pool[e.address] = Descriptor(e.address, e.node_id, e.age)
+            d = e.descriptor
+            addr = d.address
+            age = e.age
+            cur = pool.get(addr)
+            if cur is None or age < cur[1]:
+                pool[addr] = (d.node_id, age)
         pool.pop(self.address, None)
-        return list(pool.values())
+        return pool
 
     def tman_step(
         self,
@@ -213,11 +310,38 @@ class VitisNode(BaseNode):
             self.rt.remove(peer_addr)
             return None
 
-        mine = self.exchange_buffer() + [self.descriptor()]
-        theirs = peer.exchange_buffer() + [peer.descriptor()]
+        # Dict-to-dict merge of the two exchange buffers plus each side's
+        # own zero-age descriptor — same order and freshest-wins semantics
+        # as list concatenation piped through ``_merge_unique`` (dict
+        # insertion order appends new addresses and keeps the slot of
+        # updated ones), without materialising the intermediate lists.
+        mine = self._exchange_pool()
+        theirs = peer._exchange_pool()
+        self_addr = self.address
 
-        self._install_selection(_merge_unique(mine + theirs, self.address), profile_of)
-        peer._install_selection(_merge_unique(theirs + mine, peer.address), profile_of)
+        merged = dict(mine)
+        for addr, t in theirs.items():
+            if addr == self_addr:
+                continue
+            cur = merged.get(addr)
+            if cur is None or t[1] < cur[1]:
+                merged[addr] = t
+        cur = merged.get(peer_addr)
+        if cur is None or cur[1] > 0:
+            merged[peer_addr] = (peer.node_id, 0)
+        self.rt.replace_trusted(self._select_from_pool(merged, profile_of))
+
+        merged = dict(theirs)
+        for addr, t in mine.items():
+            if addr == peer_addr:
+                continue
+            cur = merged.get(addr)
+            if cur is None or t[1] < cur[1]:
+                merged[addr] = t
+        cur = merged.get(self_addr)
+        if cur is None or cur[1] > 0:
+            merged[self_addr] = (self.node_id, 0)
+        peer.rt.replace_trusted(peer._select_from_pool(merged, profile_of))
         return peer_addr
 
     def _pick_exchange_peer(self, is_alive: Callable[[int], bool]) -> Optional[int]:

@@ -64,7 +64,12 @@ class RoutingTable:
     selection logic in :mod:`repro.core.node`, not here.
     """
 
-    __slots__ = ("owner", "max_size", "_entries", "_links")
+    __slots__ = ("owner", "max_size", "_entries", "_links", "mutations")
+
+    #: Monotonic stamp source shared by every table, so a stamp uniquely
+    #: identifies one table state even across table replacement (a node
+    #: rejoining builds a fresh RoutingTable object).
+    _stamp = 0
 
     def __init__(self, owner: int, max_size: int) -> None:
         if max_size < 1:
@@ -76,6 +81,15 @@ class RoutingTable:
         #: (replace / remove / eviction).  Heartbeats only touch entry
         #: ages, which links() does not expose, so they keep the cache.
         self._links: Optional[List[Tuple[int, int]]] = None
+        #: Mutation stamp: changes whenever membership or link kinds may
+        #: have changed.  Consumers (the election result cache) treat
+        #: equal stamps as "same table contents in the same order".
+        self.mutations = self._bump()
+
+    @classmethod
+    def _bump(cls) -> int:
+        cls._stamp += 1
+        return cls._stamp
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -95,6 +109,12 @@ class RoutingTable:
     @property
     def addresses(self) -> List[int]:
         return list(self._entries)
+
+    def address_key(self) -> Tuple[int, ...]:
+        """The neighbor addresses in table order, as a hashable tuple —
+        the cache key shape consumers that only depend on membership and
+        order (e.g. the election result cache) want."""
+        return tuple(self._entries)
 
     def entries(self) -> List[RTEntry]:
         return list(self._entries.values())
@@ -158,10 +178,38 @@ class RoutingTable:
             new[desc.address] = RTEntry(desc, kind, age)
         self._entries = new
         self._links = None
+        self.mutations = self._bump()
+
+    def replace_trusted(self, selection: List[Tuple[Descriptor, LinkKind]]) -> None:
+        """:meth:`replace` without the owner/duplicate/size validation.
+
+        For selections produced by the node's own selection pass, which
+        is structurally incapable of emitting the owner, a duplicate
+        address, or an oversized list — the per-call validation was pure
+        overhead on the per-cycle T-Man path.
+        """
+        entries = self._entries
+        new: Dict[int, RTEntry] = {}
+        for desc, kind in selection:
+            old = entries.get(desc.address)
+            if old is not None:
+                if old.kind is kind:
+                    # Same neighbor, same role: refresh the descriptor in
+                    # place (age already preserved) instead of allocating.
+                    old.descriptor = desc
+                    new[desc.address] = old
+                else:
+                    new[desc.address] = RTEntry(desc, kind, old.age)
+            else:
+                new[desc.address] = RTEntry(desc, kind, desc.age)
+        self._entries = new
+        self._links = None
+        self.mutations = self._bump()
 
     def remove(self, address: int) -> bool:
         if self._entries.pop(address, None) is not None:
             self._links = None
+            self.mutations = self._bump()
             return True
         return False
 
@@ -190,4 +238,5 @@ class RoutingTable:
             del self._entries[addr]
         if evicted:
             self._links = None
+            self.mutations = self._bump()
         return evicted

@@ -91,10 +91,9 @@ class PeerSamplingService:
         """
         self.view.age_all()
         self.view.drop_older_than(self.max_age)
-        peer_desc = self.view.random_descriptor(self.rng)
-        if peer_desc is None:
+        peer_addr = self.view.random_address(self.rng)
+        if peer_addr is None:
             return None
-        peer_addr = peer_desc.address
         if not is_alive(peer_addr) or peer_addr not in registry:
             # Failed exchange: the peer is gone; forget it.
             self.view.remove(peer_addr)
@@ -102,14 +101,20 @@ class PeerSamplingService:
             return None
 
         peer = registry[peer_addr]
-        # Snapshot both sides before mutation so the exchange is symmetric
-        # (descriptors() returns caller-owned copies by construction).
-        mine = self.view.descriptors() + [self.descriptor()]
-        theirs = peer.view.descriptors() + [peer.descriptor()]
-
-        self.view.merge(theirs, exclude=self.address)
+        # Snapshot my side before mutation so the exchange is symmetric;
+        # the peer's view can be read in place because it is only mutated
+        # after my merge completes.  Both merges run columnar — no
+        # Descriptor objects are built for the exchange.
+        ma, mi, mg = self.view.snapshot_fields()
+        self.view.merge_view(
+            peer.view, exclude=self.address,
+            extra_addr=peer_addr, extra_id=peer.node_id,
+        )
         self.view.trim(self.rng)
-        peer.view.merge(mine, exclude=peer_addr)
+        peer.view.merge_fields(
+            ma, mi, mg, exclude=peer_addr,
+            extra_addr=self.address, extra_id=self.node_id,
+        )
         peer.view.trim(peer.rng)
         self.exchanges += 1
         return peer_addr
@@ -126,6 +131,11 @@ class PeerSamplingService:
     def sample(self, n: int) -> List[Descriptor]:
         """Up to ``n`` approximately-uniform random descriptors."""
         return self.view.sample(n, self.rng)
+
+    def sample_fields(self, n: int) -> List[tuple]:
+        """:meth:`sample` as ``(address, node_id, age)`` tuples (same rng
+        draws); consumed by the columnar T-Man exchange buffer."""
+        return self.view.sample_fields(n, self.rng)
 
     def known_addresses(self) -> List[int]:
         return self.view.addresses

@@ -149,6 +149,76 @@ class PartialView:
                 ids[i] = d.node_id
                 ages[i] = d.age
 
+    def snapshot_fields(self) -> tuple:
+        """Copies of the three columns — the zero-object equivalent of
+        :meth:`descriptors` for callers that only need field access."""
+        return self._addrs[:], self._ids[:], self._ages[:]
+
+    def merge_fields(
+        self,
+        addrs: List[int],
+        ids: List[int],
+        ages: List[int],
+        exclude: int = -1,
+        extra_addr: Optional[int] = None,
+        extra_id: int = 0,
+    ) -> None:
+        """Columnar :meth:`merge`: insert parallel field lists, then an
+        optional fresh (age-0) descriptor of ``extra_addr`` — identical
+        order and freshest-wins semantics to merging the corresponding
+        Descriptor list with the extra appended, with no objects built.
+        """
+        slot = self._slot
+        A, I, G = self._addrs, self._ids, self._ages
+        for k in range(len(addrs)):
+            addr = addrs[k]
+            if addr == exclude:
+                continue
+            i = slot.get(addr)
+            if i is None:
+                slot[addr] = len(A)
+                A.append(addr)
+                I.append(ids[k])
+                G.append(ages[k])
+            elif ages[k] < G[i]:
+                I[i] = ids[k]
+                G[i] = ages[k]
+        if extra_addr is not None and extra_addr != exclude:
+            i = slot.get(extra_addr)
+            if i is None:
+                slot[extra_addr] = len(A)
+                A.append(extra_addr)
+                I.append(extra_id)
+                G.append(0)
+            elif G[i] > 0:
+                I[i] = extra_id
+                G[i] = 0
+
+    def merge_view(
+        self,
+        other: "PartialView",
+        exclude: int = -1,
+        extra_addr: Optional[int] = None,
+        extra_id: int = 0,
+    ) -> None:
+        """Merge another view's current entries (plus an optional fresh
+        extra descriptor) directly from its columns.  The other view is
+        only read; callers must not have mutated it since the exchange
+        began (snapshot semantics otherwise — use :meth:`snapshot_fields`).
+        """
+        self.merge_fields(
+            other._addrs, other._ids, other._ages,
+            exclude=exclude, extra_addr=extra_addr, extra_id=extra_id,
+        )
+
+    def random_address(self, rng) -> Optional[int]:
+        """A uniformly random member address (same draw as
+        :meth:`random_descriptor`), or None if empty."""
+        addrs = self._addrs
+        if not addrs:
+            return None
+        return rng.choice(addrs)
+
     def remove(self, address: int) -> bool:
         """Drop the entry for ``address`` if present (ordered delete)."""
         i = self._slot.pop(address, None)
@@ -241,3 +311,13 @@ class PartialView:
             return self.descriptors()
         idx = rng.sample(range(count), n)
         return [Descriptor(addrs[i], ids[i], ages[i]) for i in idx]
+
+    def sample_fields(self, n: int, rng) -> List[tuple]:
+        """:meth:`sample` as ``(address, node_id, age)`` tuples — same rng
+        draws, no Descriptor objects (the T-Man exchange-buffer path)."""
+        addrs, ids, ages = self._addrs, self._ids, self._ages
+        count = len(addrs)
+        if count <= n:
+            return [(addrs[i], ids[i], ages[i]) for i in range(count)]
+        idx = rng.sample(range(count), n)
+        return [(addrs[i], ids[i], ages[i]) for i in idx]

@@ -28,10 +28,11 @@ def find_successor(
     Candidates with the node's own id are skipped (clockwise distance 0
     would otherwise make a node its own successor).
     """
+    size = space.size
     best = None
     best_d = None
     for d in candidates:
-        cw = space.clockwise(self_id, d.node_id)
+        cw = (d.node_id - self_id) % size
         if cw == 0:
             continue
         if best_d is None or cw < best_d or (cw == best_d and d.address < best.address):
@@ -44,10 +45,11 @@ def find_predecessor(
 ) -> Optional[Descriptor]:
     """The candidate with minimal *counter-clockwise* distance from
     ``self_id`` (i.e. minimal clockwise distance toward ``self_id``)."""
+    size = space.size
     best = None
     best_d = None
     for d in candidates:
-        ccw = space.clockwise(d.node_id, self_id)
+        ccw = (self_id - d.node_id) % size
         if ccw == 0:
             continue
         if best_d is None or ccw < best_d or (ccw == best_d and d.address < best.address):

@@ -56,10 +56,14 @@ def closest_to_target(
 ) -> Optional[Descriptor]:
     """The candidate whose id is circularly closest to ``target_id``
     (ties broken by address for determinism)."""
+    size = space.size
+    half = size >> 1
     best = None
     best_d = None
     for d in candidates:
-        dist = space.distance(d.node_id, target_id)
+        dist = (d.node_id - target_id) % size
+        if dist > half:
+            dist = size - dist
         if best_d is None or dist < best_d or (dist == best_d and d.address < best.address):
             best, best_d = d, dist
     return best
