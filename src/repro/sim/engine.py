@@ -151,16 +151,22 @@ class Engine:
         ``until`` is inclusive: events stamped exactly ``until`` still fire.
         """
         executed = 0
-        while self._queue:
+        queue = self._queue
+        while queue:
             if max_events is not None and executed >= max_events:
                 return
-            nxt = self._queue[0]
-            if nxt.cancelled:
+            nxt = queue[0]
+            if nxt._cancelled:
                 self._pop()
                 continue
             if until is not None and nxt.time > until:
                 break
-            self.step()
+            # Inlined step(): the head is known live, so the rescan a
+            # step() call would do is pure overhead on this loop.
+            ev = self._pop()
+            self._now = ev.time
+            ev.callback()
+            self._processed += 1
             executed += 1
         # Advance the clock to the horizon even when no event reached it
         # (or the queue drained early) so callers can rely on time moving.
@@ -242,6 +248,9 @@ class CycleDriver:
         self.telemetry = telemetry
         self._step_fn = step_fn
         self._cycle = 0
+        #: (metrics registry, counters/gauges/histogram) memo for the
+        #: instrumented per-cycle path; rebuilt if the registry is swapped.
+        self._instruments = None
 
     @property
     def cycle(self) -> int:
@@ -256,13 +265,15 @@ class CycleDriver:
         first, so the interleaving matches an event-driven run.
         """
         telemetry = self.telemetry
+        engine = self.engine
+        period = self.period
+        step_fn = self._step_fn
         for _ in range(n):
             if telemetry.enabled:
                 self._run_one_instrumented()
                 continue
-            target = self.engine.now + self.period
-            self.engine.run(until=target)
-            self._step_fn(self._cycle)
+            engine.run(until=engine.now + period)
+            step_fn(self._cycle)
             self._cycle += 1
 
     def _run_one_instrumented(self) -> None:
@@ -282,11 +293,23 @@ class CycleDriver:
         events = engine.processed - processed_before
         depth = engine.pending
         m = telemetry.metrics
-        m.counter("engine_cycles_total").inc()
-        m.counter("engine_events_total").inc(events)
-        m.gauge("engine_queue_depth").set(depth)
-        m.gauge("engine_sim_time_s").set(engine.now)
-        m.histogram("engine_cycle_wall_ms").observe(wall * 1000.0)
+        # Resolve the five instruments once per registry, not per cycle —
+        # every lookup pays a label-key construction.
+        ins = self._instruments
+        if ins is None or ins[0] is not m:
+            ins = self._instruments = (
+                m,
+                m.counter("engine_cycles_total"),
+                m.counter("engine_events_total"),
+                m.gauge("engine_queue_depth"),
+                m.gauge("engine_sim_time_s"),
+                m.histogram("engine_cycle_wall_ms"),
+            )
+        ins[1].inc()
+        ins[2].inc(events)
+        ins[3].set(depth)
+        ins[4].set(engine.now)
+        ins[5].observe(wall * 1000.0)
         if telemetry.tracing:
             telemetry.event(
                 "cycle",

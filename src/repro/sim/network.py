@@ -189,7 +189,10 @@ class Network:
         self.sent[msg.kind] += 1
         self.sent_by_addr[msg.src] += 1
         self.bytes_sent += msg.size
-        delay = self.latency.delay(msg.src, msg.dst)
+        lat = self.latency
+        # Constant latency (the cycle-driven default) needs no per-pair
+        # method call; the type check keeps a swapped-in model honest.
+        delay = lat._delay if type(lat) is ConstantLatency else lat.delay(msg.src, msg.dst)
         if self.fault_model is not None:
             if self.fault_model.drop(msg.src, msg.dst, msg.kind, self.engine.now):
                 self._record_fault(msg)
