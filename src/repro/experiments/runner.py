@@ -61,7 +61,17 @@ def converge(protocol, min_cycles: int = 30, max_cycles: int = 120) -> int:
                 protocol.ids_by_address(), protocol.successor_map()
             )
             if tel.enabled:
-                tel.series.record("ring_converged", float(cycles), float(converged))
+                # The probe series is run-level but indexed by per-trial
+                # cycle counts; when several trials share one telemetry
+                # (bench, --metrics-out sweeps) a fast-converging trial
+                # after a slow one would rewind the series clock.  Those
+                # checks stay visible in the trace stream; the series
+                # keeps only the non-rewinding samples.
+                last = tel.series.latest_time("ring_converged")
+                if last is None or cycles >= last:
+                    tel.series.record(
+                        "ring_converged", float(cycles), float(converged)
+                    )
                 tel.event("converge_check", t=protocol.engine.now,
                           cycles=cycles, converged=converged)
             if converged or cycles >= max_cycles:

@@ -57,6 +57,13 @@ class TimeSeries:
         vals = self._values.get(name)
         return vals[-1] if vals else None
 
+    def latest_time(self, name: str) -> Optional[float]:
+        """The newest sample time of one series (None when empty) — what
+        a recorder checks before appending a sample whose clock may have
+        rewound (e.g. a run-level probe series fed by per-trial clocks)."""
+        times = self._times.get(name)
+        return times[-1] if times else None
+
     # ------------------------------------------------------------------
     def window(self, name: str, t0: float, t1: float) -> List[float]:
         """Values with t0 <= time < t1."""

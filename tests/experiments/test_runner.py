@@ -42,6 +42,21 @@ class TestBuilders:
         cycles_run = p.cycle
         assert cycles_run < 200
 
+    def test_converge_tolerates_series_clock_rewind(self, subs):
+        # Several trials share one telemetry under bench and
+        # --metrics-out sweeps; a fast-converging trial after a slow one
+        # must not crash the run-level ring_converged probe series (its
+        # clock is per-trial cycle counts).  Rewinding samples are
+        # skipped, non-rewinding ones still land.
+        from repro import obs
+        from repro.obs.telemetry import Telemetry
+
+        tel = Telemetry()
+        tel.series.record("ring_converged", 500.0, 0.0)
+        with obs.scope(tel):
+            build_vitis(subs, CFG, seed=1, min_cycles=20, max_cycles=100)
+        assert tel.series.latest_time("ring_converged") == 500.0
+
 
 class TestMeasure:
     @pytest.fixture(scope="class")

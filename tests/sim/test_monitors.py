@@ -41,6 +41,14 @@ class TestRecording:
         ts = TimeSeries()
         assert ts.series("nope") == []
         assert ts.latest("nope") is None
+        assert ts.latest_time("nope") is None
+
+    def test_latest_time(self):
+        ts = TimeSeries()
+        ts.record("x", 3.0, 7.0)
+        ts.record("x", 5.0, 9.0)
+        assert ts.latest_time("x") == 5.0
+        assert ts.latest("x") == 9.0
 
 
 class TestWindows:
