@@ -272,6 +272,12 @@ def main(argv: List[str] | None = None) -> int:
         "--no-memory", action="store_true", dest="no_memory",
         help="bench only: skip tracemalloc peak/top-allocator collection",
     )
+    parser.add_argument(
+        "--scale-sweep", action="store_true", dest="scale_sweep",
+        help="bench only: run the scenario at populations 100, 300 and "
+             "1000 in one invocation, appending one trajectory run per "
+             "size so the wall-time scaling exponent is visible",
+    )
     args = parser.parse_args(argv)
 
     report_flags = args.audit or args.trees or args.hotspots != 10
@@ -286,11 +292,16 @@ def main(argv: List[str] | None = None) -> int:
     bench_flags = (
         args.scenario or args.profile or args.compare or args.tolerances
         or args.update_baseline or args.bench_out or args.no_memory
+        or args.scale_sweep
     )
     if bench_flags and args.command != "bench":
         parser.error("--scenario/--profile/--compare/--tolerance/"
-                     "--update-baseline/--bench-out/--no-memory only apply "
-                     "to the bench command")
+                     "--update-baseline/--bench-out/--no-memory/"
+                     "--scale-sweep only apply to the bench command")
+    if args.scale_sweep and (args.compare or args.update_baseline):
+        parser.error("--scale-sweep appends one run per population and "
+                     "cannot gate or rewrite a single-run baseline; drop "
+                     "--compare/--update-baseline")
     if args.command == "bench" and (
         args.cache_dir or args.resume or args.csv or args.trace_out
         or args.metrics_out
@@ -484,6 +495,8 @@ def _bench(parser: argparse.ArgumentParser, args) -> int:
     from repro.provenance import repo_root
 
     tolerances = _parse_tolerances(parser, args.tolerances)
+    if args.scale_sweep:
+        return _bench_scale_sweep(args)
     harness = perf.BenchHarness(
         args.scenario,
         seed=args.seed,
@@ -551,6 +564,74 @@ def _bench(parser: argparse.ArgumentParser, args) -> int:
                   file=sys.stderr)
             return 1
         print("bench compare: OK", file=sys.stderr)
+    return 0
+
+
+#: ``bench --scale-sweep`` populations: small / bench-default / large,
+#: one decade apart at the ends so the wall-time scaling exponent falls
+#: straight out of the trajectory.
+SCALE_SWEEP_SIZES = (100, 300, 1000)
+
+
+def _bench_scale_sweep(args) -> int:
+    """``python -m repro bench --scenario fig7 --scale-sweep``.
+
+    Runs the scenario at populations :data:`SCALE_SWEEP_SIZES` — the
+    scenario's leading scale knob (``n_nodes``, ``n_users``, …) pinned to
+    each size, everything else at the ``--scale`` defaults — and appends
+    one trajectory run per size, each stamped with its override.  A final
+    table shows wall time per population plus the fitted scaling
+    exponent (the slope of log wall over log n), so a speedup's behaviour
+    at scale is visible in ``BENCH_<scenario>.json``, not just one point.
+    """
+    import math
+
+    from repro.obs import perf
+    from repro.obs.report import bench_summary_rows
+
+    knob = next(iter(SCENARIOS[args.scenario].scale_knobs))
+    out_path = (
+        Path(args.bench_out) if args.bench_out
+        else perf.bench_path(args.scenario)
+    )
+    points = []
+    for n in SCALE_SWEEP_SIZES:
+        harness = perf.BenchHarness(
+            args.scenario,
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            memory=not args.no_memory,
+            overrides={knob: n},
+        )
+        run = harness.run()
+        print(reporting.format_table(
+            bench_summary_rows(run),
+            title=f"bench {args.scenario} ({knob}={n})",
+        ))
+        doc = perf.append_run(out_path, run)
+        print(f"appended run {len(doc['runs'])} to {out_path}",
+              file=sys.stderr)
+        points.append((n, run["wall_s"]))
+
+    rows = [
+        {knob: n, "wall_s": round(w, 3),
+         "wall_per_node_ms": round(1000.0 * w / n, 3)}
+        for n, w in points
+    ]
+    print(reporting.format_table(rows, title="scale sweep"))
+    xs = [math.log(n) for n, _ in points]
+    ys = [math.log(w) for _, w in points if w > 0]
+    if len(ys) == len(xs):
+        mx = sum(xs) / len(xs)
+        my = sum(ys) / len(ys)
+        denom = sum((x - mx) ** 2 for x in xs)
+        if denom > 0:
+            exponent = sum(
+                (x - mx) * (y - my) for x, y in zip(xs, ys)
+            ) / denom
+            print(f"fitted scaling exponent: wall_s ~ n^{exponent:.2f}",
+                  file=sys.stderr)
     return 0
 
 

@@ -300,6 +300,7 @@ class BenchHarness:
         memory: bool = True,
         top_allocators: int = 10,
         profile: bool = False,
+        overrides: Optional[Dict[str, int]] = None,
     ) -> None:
         from repro.experiments.scenarios import SCENARIOS
 
@@ -316,6 +317,11 @@ class BenchHarness:
         self.memory = memory
         self.top_allocators = top_allocators
         self.profile = profile
+        #: Explicit population-kwarg overrides applied after ``--scale``
+        #: (the ``bench --scale-sweep`` micro-mode pins the node count to
+        #: fixed sizes).  Recorded in the run so spec comparison never
+        #: confuses runs of different populations.
+        self.overrides = dict(overrides) if overrides else None
         self.collected: Optional[CollectedRun] = None
 
     def run(self) -> Dict:
@@ -326,7 +332,9 @@ class BenchHarness:
             run_sweep,
         )
 
-        sweep = self.scenario.sweep(seed=self.seed, scale=self.scale)
+        sweep = self.scenario.sweep(
+            seed=self.seed, scale=self.scale, **(self.overrides or {})
+        )
         executor = (
             ParallelExecutor(self.jobs) if self.jobs > 1 else SerialExecutor()
         )
@@ -352,6 +360,8 @@ class BenchHarness:
             rows=len(rows),
             rows_sha256=rows_fingerprint(rows),
         )
+        if self.overrides:
+            run["overrides"] = dict(self.overrides)
         validate_run(run)
         return run
 
@@ -532,7 +542,7 @@ def comparable_metrics(run: Dict) -> Dict[str, float]:
 def _same_spec(current: Dict, baseline: Dict) -> bool:
     return all(
         current.get(k) == baseline.get(k)
-        for k in ("scenario", "seed", "scale", "trials")
+        for k in ("scenario", "seed", "scale", "trials", "overrides")
     )
 
 

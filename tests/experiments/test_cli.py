@@ -294,6 +294,38 @@ class TestBench:
             main(BENCH_ARGS + ["--trace-out", "t.jsonl"])
 
 
+class TestScaleSweep:
+    def test_appends_one_run_per_population(self, tmp_path, capsys,
+                                            monkeypatch):
+        from repro import cli
+        from repro.obs.perf import load_trajectory
+
+        monkeypatch.setattr(cli, "SCALE_SWEEP_SIZES", (400, 800))
+        out = tmp_path / "BENCH_fig8.json"
+        assert main(BENCH_ARGS + ["--scale-sweep",
+                                  "--bench-out", str(out)]) == 0
+        runs = load_trajectory(out)["runs"]
+        assert [r["overrides"] for r in runs] == [
+            {"n_users": 400}, {"n_users": 800},
+        ]
+        assert all(r["seed"] == 1 and r["scale"] == 0.1 for r in runs)
+        assert runs[0]["rows_sha256"] != runs[1]["rows_sha256"]
+        captured = capsys.readouterr()
+        assert "bench fig8 (n_users=400)" in captured.out
+        assert "scale sweep" in captured.out
+        assert "fitted scaling exponent" in captured.err
+
+    def test_rejected_with_compare_or_update_baseline(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--scale-sweep", "--compare", "b.json"])
+        with pytest.raises(SystemExit):
+            main(BENCH_ARGS + ["--scale-sweep", "--update-baseline"])
+
+    def test_rejected_outside_bench(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--scale-sweep"])
+
+
 class TestBenchReport:
     def test_renders_trajectory_file(self, tmp_path, capsys):
         out = tmp_path / "BENCH_fig8.json"

@@ -175,6 +175,31 @@ class TestBenchHarness:
         other = BenchHarness("fig8", seed=2, scale=0.1, memory=False).run()
         assert other["rows_sha256"] != first["rows_sha256"]
 
+    def test_overrides_pin_population_and_stamp_the_run(self):
+        # The --scale-sweep micro-mode pins the leading scale knob; the
+        # override must reach the sweep and be recorded in the run.
+        plain = BenchHarness("fig8", seed=1, scale=0.1, memory=False).run()
+        pinned = BenchHarness(
+            "fig8", seed=1, scale=0.1, memory=False,
+            overrides={"n_users": 500},
+        ).run()
+        assert "overrides" not in plain
+        assert pinned["overrides"] == {"n_users": 500}
+        assert pinned["rows_sha256"] != plain["rows_sha256"]
+        validate_run(pinned)
+
+    def test_override_mismatch_is_not_row_drift(self):
+        # Same seed/scale/trials but different populations: compare must
+        # treat the pair as different specs, not flag drift.
+        plain = BenchHarness("fig8", seed=1, scale=0.1, memory=False).run()
+        pinned = BenchHarness(
+            "fig8", seed=1, scale=0.1, memory=False,
+            overrides={"n_users": 500},
+        ).run()
+        result = compare_runs(pinned, plain, tolerances={"wall_s": 100.0})
+        assert not result.drift
+        assert any("spec differs" in n for n in result.notes)
+
 
 class TestTrajectoryIO:
     def test_append_creates_then_appends(self, tmp_path):
