@@ -119,6 +119,13 @@ __all__ = ["main"]
 
 
 def main(argv: List[str] | None = None) -> int:
+    raw = sys.argv[1:] if argv is None else argv
+    if raw and raw[0] == "live":
+        # Real-network deployment commands have their own option surface
+        # (seed/collector endpoints, per-process workload params) — hand
+        # off before building the simulator parser.
+        from repro.net.cli import main as live_main
+        return live_main(raw[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the Vitis (IPDPS 2011) evaluation figures.",

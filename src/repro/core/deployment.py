@@ -38,6 +38,7 @@ from repro.core.identifiers import IdSpace
 from repro.core.node import VitisNode, _merge_unique
 from repro.core.utility import PublicationRates, UtilityFunction
 from repro.gossip.view import Descriptor
+from repro.net.timers import start_periodic
 from repro.sim.engine import Engine, PeriodicTask
 from repro.sim.messages import (
     Notification,
@@ -115,8 +116,9 @@ class DeployedVitisNode(VitisNode):
         self.child_stamp.clear()
         if self._task is not None:
             self._task.stop()
-        period = self.config.gossip_period * (1.0 + 0.2 * (self.rng.random() - 0.5))
-        self._task = PeriodicTask(self.system.engine, period, self._tick)
+        self._task = start_periodic(
+            self.system.engine, self.config.gossip_period, self.rng, self._tick
+        )
 
     def undeploy(self) -> None:
         """Crash: stop the timer and go silent."""

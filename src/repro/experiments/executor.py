@@ -60,6 +60,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -245,6 +246,34 @@ class ResultCache:
             return _MISSING, True
         return entry["result"], stale
 
+    def cleanup_orphans(self, sweep_name: str, max_age: float = 3600.0) -> int:
+        """Remove ``.tmp`` files a crashed writer left mid-atomic-write.
+
+        :meth:`store` writes through ``mkstemp`` + ``os.replace``; a
+        process killed between the two strands a ``*.tmp`` file next to
+        the cache entries, which accretes forever (and reads as clutter
+        in the cache directory) unless swept.  ``max_age`` guards
+        concurrent writers: only temp files older than it are removed,
+        so a parallel worker's in-flight write is never yanked away.
+        Returns the number of files removed.
+        """
+        removed = 0
+        sweep_dir = self.root / sweep_name
+        if not sweep_dir.is_dir():
+            return removed
+        cutoff = time.time() - max_age
+        for tmp in sweep_dir.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # already gone, or a racing writer renamed it
+        if removed:
+            log.info("cache %s: removed %d orphaned temp file(s)",
+                     sweep_dir, removed)
+        return removed
+
     def store(self, sweep_name: str, key: str, spec: Dict, result: Any) -> None:
         """Atomically persist one trial result (temp file + rename)."""
         path = self.path(sweep_name, key)
@@ -305,6 +334,10 @@ def run_sweep(
                 stale_skipped += 1
 
     pending = [i for i, r in enumerate(results) if r is _MISSING]
+    if pending and cache is not None:
+        # Sweep leftovers from writers that crashed mid-atomic-write
+        # before this run's workers start adding their own temp files.
+        cache.cleanup_orphans(sweep.name)
     if pending:
         fresh = executor.run_trials([sweep.trials[i] for i in pending])
         for i, result in zip(pending, fresh):

@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Set
 __all__ = [
     "DetectorConfig",
     "SwimDetector",
+    "Verdict",
     "STATE_ALIVE",
     "STATE_SUSPECT",
     "STATE_DEAD",
@@ -105,16 +106,72 @@ class DetectorConfig:
         )
 
 
-class _Verdict:
-    """The shared state machine about one subject address."""
+class Verdict:
+    """The per-subject SWIM state machine: alive → suspect → dead, with
+    incarnation numbers totally ordering verdicts across crash/rejoin
+    cycles.
+
+    Shared between the in-sim detector (one verdict per subject, global
+    across observers — see the modeling notes above) and the live
+    per-observer detector (:mod:`repro.net.liveness`, one verdict table
+    per node).  ``deadline`` is in detector cycles here and in wall-clock
+    seconds there; the transitions are identical.
+    """
 
     __slots__ = ("state", "incarnation", "deadline", "suspectors")
 
     def __init__(self) -> None:
         self.state = STATE_ALIVE
         self.incarnation = 0
-        self.deadline = 0
+        self.deadline = 0.0
         self.suspectors: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Transitions (each returns True when the state actually changed)
+    # ------------------------------------------------------------------
+    def mark_alive(self) -> bool:
+        """Proof of life (an ack, or any authenticated message): a pending
+        suspicion is disproved on the spot."""
+        if self.state != STATE_SUSPECT:
+            return False
+        self.state = STATE_ALIVE
+        self.suspectors.clear()
+        return True
+
+    def suspect(self, by: int, deadline: float) -> bool:
+        """Record one observer's suspicion; starts the grace period on the
+        alive → suspect edge only."""
+        if self.state == STATE_DEAD:
+            return False
+        fresh = self.state == STATE_ALIVE
+        if fresh:
+            self.state = STATE_SUSPECT
+            self.deadline = deadline
+        self.suspectors.add(by)
+        return fresh
+
+    def refute(self, incarnation: int) -> bool:
+        """A refutation at ``incarnation`` arrived: clears the suspicion
+        iff it post-dates the one being refuted."""
+        if self.state != STATE_SUSPECT or incarnation <= self.incarnation:
+            return False
+        self.incarnation = incarnation
+        self.state = STATE_ALIVE
+        self.suspectors.clear()
+        return True
+
+    def confirm(self, now: float) -> bool:
+        """Deadline check: a suspicion that survived its grace period
+        becomes confirmed-dead."""
+        if self.state != STATE_SUSPECT or now < self.deadline:
+            return False
+        self.state = STATE_DEAD
+        self.suspectors.clear()
+        return True
+
+
+#: Backwards-compatible private alias (pre-live-runtime name).
+_Verdict = Verdict
 
 
 class SwimDetector:
@@ -299,17 +356,13 @@ class SwimDetector:
         """An ack came back: a pending suspicion is disproved on the spot
         (the shared-verdict analogue of an alive-message override)."""
         v = self._verdicts.get(address)
-        if v is not None and v.state == STATE_SUSPECT:
-            v.state = STATE_ALIVE
-            v.suspectors.clear()
+        if v is not None:
+            v.mark_alive()
 
     def _suspect(self, by: int, target: int, now: float) -> None:
         v = self._verdict(target)
-        if v.state == STATE_DEAD:
-            return
-        if v.state == STATE_ALIVE:
-            v.state = STATE_SUSPECT
-            v.deadline = self.cycle + self.config.suspicion_cycles(self._n_live)
+        deadline = self.cycle + self.config.suspicion_cycles(self._n_live)
+        if v.suspect(by, deadline):
             self.suspicions += 1
             tel = self.protocol.telemetry
             if tel.enabled:
@@ -319,7 +372,6 @@ class SwimDetector:
                         "suspect", t=now, addr=target, by=by,
                         incarnation=v.incarnation, deadline=v.deadline,
                     )
-        v.suspectors.add(by)
 
     def _refute_round(self, fm, now: float) -> None:
         """Give every live suspect its chance to clear itself.
@@ -345,14 +397,14 @@ class SwimDetector:
                         break
             if not heard:
                 continue
-            v.incarnation += 1
+            bumped = v.incarnation + 1  # the subject's rebuttal incarnation
+            landed = False
             for s in suspectors:
                 if not proto.is_alive(s):
                     continue
                 if fm is not None and fm.drop(t, s, "refute", now):
                     continue
-                v.state = STATE_ALIVE
-                v.suspectors.clear()
+                landed = v.refute(bumped)
                 self.refutations += 1
                 tel = proto.telemetry
                 if tel.enabled:
@@ -363,15 +415,16 @@ class SwimDetector:
                             incarnation=v.incarnation, via=s,
                         )
                 break
+            if not landed:
+                # The bump happened even though no rebuttal landed.
+                v.incarnation = bumped
 
     def _confirm_round(self, now: float) -> None:
         proto = self.protocol
         for t in sorted(self._verdicts):
             v = self._verdicts[t]
-            if v.state != STATE_SUSPECT or self.cycle < v.deadline:
+            if not v.confirm(self.cycle):
                 continue
-            v.state = STATE_DEAD
-            v.suspectors.clear()
             self.confirmations += 1
             self.confirmed_at[t] = now
             tel = proto.telemetry

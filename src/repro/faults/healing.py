@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["HealingPolicy", "send_with_retries"]
+__all__ = ["HealingPolicy", "RetryPolicy", "send_with_retries"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,56 @@ class HealingPolicy:
         if attempt < 1:
             return 0
         return self.backoff_base * (2 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Wall-clock retransmission schedule for the live UDP transport.
+
+    The simulator's :class:`HealingPolicy` expresses backoff in gossip
+    cycles because retries there are bookkeeping at one simulated
+    instant; a real transport needs actual delays.  Same shape — capped
+    exponential backoff with a bounded budget — plus jitter, so the
+    retransmissions of many nodes recovering from one loss burst do not
+    resynchronise into the next burst.
+
+    ``max_attempts`` counts total transmissions (first send included).
+    A message still unacked after the last attempt's timeout is *given
+    up*: the transport reports the destination to the liveness layer and
+    the message is dropped, never queued forever — degrading into the
+    same fault-aware eviction path the simulator uses instead of
+    blocking the protocol.
+    """
+
+    #: Total transmissions per message, first send included (>= 1).
+    max_attempts: int = 5
+    #: Ack timeout after the first transmission, in seconds.
+    base_delay: float = 0.1
+    #: Ceiling on any single backoff delay, in seconds.
+    max_delay: float = 2.0
+    #: Fractional jitter band applied to each delay (0 = deterministic).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay <= 0:
+            raise ValueError("base_delay must be > 0")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Seconds to wait for an ack after transmission ``attempt``
+        (1-based): ``base * 2**(attempt-1)``, capped, jittered by up to
+        ±``jitter``/2 of itself when an ``rng`` is supplied."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        d = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        if rng is not None and self.jitter:
+            d *= 1.0 + self.jitter * (rng.random() - 0.5)
+        return d
 
 
 def send_with_retries(fault_model, src: int, dst: int, kind: str,

@@ -1,0 +1,118 @@
+"""Trace/metrics collector for multi-process live runs.
+
+Each node process streams its :mod:`repro.obs` JSONL records — span and
+protocol events during the run, one ``metrics_snapshot`` record at
+shutdown — over one TCP connection.  Records are tagged ``proc`` at the
+source (``TraceWriter(base={"proc": address})``), so the collector's job
+is merge, not rewrite:
+
+- the merged record list feeds :func:`repro.obs.audit.audit_trace` and
+  ``trace-report --audit`` exactly like a single-process trace (span ids
+  are strings unique per process, so trees never collide);
+- the per-process metrics snapshots fold into one parent
+  :class:`~repro.obs.Telemetry` via ``merge_snapshot`` — the same merge
+  the parallel executor uses for worker processes, which is what keeps
+  live and in-sim metrics reports comparable column for column.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import TraceWriter
+
+__all__ = ["Collector"]
+
+log = logging.getLogger(__name__)
+
+
+class Collector:
+    """JSONL sink for a cluster's observability streams."""
+
+    def __init__(self) -> None:
+        #: Every non-snapshot record, in arrival order.
+        self.records: List[Dict] = []
+        #: proc → its final Telemetry.snapshot().
+        self.snapshots: Dict[int, Dict] = {}
+        #: proc → records received (who is actually reporting).
+        self.records_by_proc: Dict[int, int] = {}
+        self.malformed = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._last_arrival = 0.0
+        self._open_conns = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    async def start(cls, host: str = "127.0.0.1", port: int = 0) -> "Collector":
+        self = cls()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self._last_arrival = asyncio.get_running_loop().time()
+        return self
+
+    @property
+    def local_addr(self) -> Tuple[str, int]:
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._open_conns += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self._last_arrival = asyncio.get_running_loop().time()
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.malformed += 1
+                    continue
+                proc = record.get("proc", -1)
+                if record.get("ev") == "metrics_snapshot":
+                    self.snapshots[proc] = record.get("snapshot", {})
+                    continue
+                self.records_by_proc[proc] = self.records_by_proc.get(proc, 0) + 1
+                self.records.append(record)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._open_conns -= 1
+            writer.close()
+
+    # ------------------------------------------------------------------
+    async def wait_quiescent(self, idle: float = 1.0, timeout: float = 30.0) -> bool:
+        """Wait until no record has arrived for ``idle`` seconds.
+
+        Returns False when ``timeout`` elapsed first.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if loop.time() - self._last_arrival >= idle:
+                return True
+            await asyncio.sleep(min(0.1, idle / 4))
+        return False
+
+    # ------------------------------------------------------------------
+    def merge_into(self, telemetry) -> None:
+        """Fold every process's metrics snapshot into ``telemetry``
+        (ascending proc order, so gauge merges are deterministic)."""
+        for proc in sorted(self.snapshots):
+            telemetry.merge_snapshot(self.snapshots[proc])
+
+    def write_trace(self, path: str, extra: Optional[List[Dict]] = None) -> int:
+        """Write the merged trace (plus driver-side ``extra`` records,
+        e.g. miss attributions) as one JSONL file; returns record count."""
+        records = self.records + list(extra or [])
+        with TraceWriter(path, flush_every=5000) as tw:
+            for record in records:
+                tw.write_record(record)
+        return len(records)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()

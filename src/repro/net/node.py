@@ -1,0 +1,624 @@
+"""One live Vitis node process.
+
+Hosts a single :class:`~repro.core.deployment.DeployedVitisNode` on real
+infrastructure instead of the simulator: the asyncio UDP transport
+(:mod:`repro.net.transport`) replaces ``Network``, wall-clock
+:class:`~repro.net.timers.AsyncPeriodicTask` timers replace the engine's
+``PeriodicTask``, the per-observer SWIM detector
+(:mod:`repro.net.liveness`) replaces ground-truth liveness, and the seed
+registry (:mod:`repro.net.bootstrap`) replaces shared memory.  The
+protocol logic itself — T-Man exchanges, Newscast sampling, gateway
+election, relay maintenance — is inherited unchanged; everything this
+module adds is the environment the simulator used to fake:
+
+- :class:`LiveSystem` — the ``system`` surface ``DeployedVitisNode``
+  consumes (``engine.now``, ``network``, ``is_alive``, ``topic_id``,
+  ``profile_of``, …) backed by wall clock, transport, detector verdicts
+  and the workload derived from the shared seed;
+- :class:`LiveVitisNode` — the node subclass whose timer is an asyncio
+  task and whose liveness predicate is the local detector's verdict;
+- the notification path: the distributed equivalent of the simulator's
+  omniscient dissemination BFS.  Each first receipt emits a causal span
+  (string ids ``n<addr>x<k>`` — unique across processes, so the
+  collector-merged trace reconstructs exactly like a single-process
+  one), delivers locally when subscribed, and forwards along the same
+  edge classes the paper describes: intra-cluster flood to
+  learned-interested routing-table neighbors, relay-tree edges, and
+  greedy rendezvous routing when the node is neither in a cluster of
+  the topic nor on its tree;
+- :func:`run_node` — the async process entry: bind UDP on an ephemeral
+  port, join via the seed, stream ``repro.obs`` JSONL to the collector
+  (proc-tagged at source), run protocol + detector timers, answer the
+  driver's publish/topo/shutdown commands, and emit one final
+  ``metrics_snapshot`` record on the way out.
+
+All subscription profiles are derived deterministically in every process
+from the shared workload seed (``bucket_subscriptions``), matching the
+paper's assumption that exchanged descriptors carry profile summaries —
+the registry only hands out addresses and endpoints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.config import VitisConfig
+from repro.core.deployment import DeployedVitisNode
+from repro.core.identifiers import IdSpace
+from repro.core.profile import NodeProfile
+from repro.core.utility import PublicationRates, UtilityFunction
+from repro.faults.detector import DetectorConfig
+from repro.gossip.view import Descriptor
+from repro.net.bootstrap import SeedClient
+from repro.net.liveness import LiveSwimDetector
+from repro.net.timers import AsyncPeriodicTask, jittered_period
+from repro.net.transport import UdpTransport
+from repro.obs.spans import (
+    CAUSE_FAULTED_LINK,
+    HOP_DELIVER,
+    HOP_FLOOD,
+    HOP_LOOKUP,
+    HOP_PUBLISH,
+    HOP_RELAY,
+    HOP_RENDEZVOUS,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import TraceWriter
+from repro.sim.messages import Notification
+from repro.sim.rng import SeedTree
+from repro.workloads.subscriptions import bucket_subscriptions
+
+__all__ = ["LiveWorkload", "LiveSystem", "LiveVitisNode", "LiveNodeHost", "run_node"]
+
+log = logging.getLogger(__name__)
+
+
+# ----------------------------------------------------------------------
+# Shared workload derivation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LiveWorkload:
+    """The cluster-wide workload, derived identically in every process.
+
+    The driver and all node processes construct the same subscription
+    map from these parameters alone, so no profile ever has to cross the
+    control plane.  Defaults size a 20-50 process loopback cluster:
+    small enough to converge in seconds, dense enough that topics have
+    multi-node clusters worth flooding.
+    """
+
+    n_nodes: int
+    n_topics: int = 60
+    n_buckets: int = 12
+    buckets_per_node: int = 4
+    topics_per_bucket: int = 3
+    seed: int = 0
+
+    def subscriptions(self) -> List[FrozenSet[int]]:
+        return bucket_subscriptions(
+            self.n_nodes,
+            n_topics=self.n_topics,
+            n_buckets=self.n_buckets,
+            buckets_per_node=self.buckets_per_node,
+            topics_per_bucket=self.topics_per_bucket,
+            seed=self.seed,
+        )
+
+    def cli_args(self) -> List[str]:
+        """The ``live node`` flags reproducing this workload."""
+        return [
+            "--n-nodes", str(self.n_nodes),
+            "--n-topics", str(self.n_topics),
+            "--n-buckets", str(self.n_buckets),
+            "--buckets-per-node", str(self.buckets_per_node),
+            "--topics-per-bucket", str(self.topics_per_bucket),
+            "--workload-seed", str(self.seed),
+        ]
+
+    @classmethod
+    def from_ns(cls, ns) -> "LiveWorkload":
+        return cls(
+            n_nodes=ns.n_nodes,
+            n_topics=ns.n_topics,
+            n_buckets=ns.n_buckets,
+            buckets_per_node=ns.buckets_per_node,
+            topics_per_bucket=ns.topics_per_bucket,
+            seed=ns.workload_seed,
+        )
+
+
+class _WallClock:
+    """Monotonic wall clock with the engine's ``now`` read surface."""
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+
+class LiveVitisNode(DeployedVitisNode):
+    """A deployed node whose timer is an asyncio task.
+
+    ``_tick`` and the whole message dispatch are inherited; only the
+    scheduling substrate changes.
+    """
+
+    def deploy(self, bootstrap: List[Descriptor]) -> None:
+        self.join(bootstrap)
+        self.neighbor_state.clear()
+        self.relay_stamp.clear()
+        self.child_stamp.clear()
+        if self._task is not None:
+            self._task.stop()
+        period = jittered_period(self.config.gossip_period, self.rng)
+        self._task = AsyncPeriodicTask(
+            period, self._tick, first_delay=period * self.rng.random()
+        )
+
+
+class LiveSystem:
+    """The ``system`` surface of one live node process.
+
+    Mirrors :class:`~repro.core.deployment.DeployedVitis` field for field
+    where ``DeployedVitisNode`` reads it, but every answer comes from
+    process-local reality: membership from the seed registry, liveness
+    from the local SWIM detector, time from the wall clock.
+    """
+
+    name = "vitis-live"
+
+    def __init__(
+        self,
+        address: int,
+        transport: UdpTransport,
+        workload: LiveWorkload,
+        config: VitisConfig,
+        telemetry: Telemetry,
+    ) -> None:
+        self.address = address
+        self.config = config
+        self.telemetry = telemetry
+        self.space = IdSpace()
+        self.seeds = SeedTree(workload.seed)
+        self.engine = _WallClock()
+        self.network = transport
+        # BaseNode.start() stamps joined_at from network.engine.now.
+        transport.engine = self.engine
+        self.workload = workload
+        self.subs = workload.subscriptions()
+        self.n_topics = workload.n_topics
+        self.rates = PublicationRates.uniform(max(1, self.n_topics))
+        self.utility = UtilityFunction(self.rates, config.rate_weighted_utility)
+        self.backpressure_deferred = 0
+        #: Current registry membership (kept fresh by seed pushes).
+        self.members: Set[int] = set()
+        #: The local failure detector (installed by the host).
+        self.detector: Optional[LiveSwimDetector] = None
+        self._topic_ids: Dict[int, int] = {}
+        self._profiles: Dict[int, NodeProfile] = {}
+        self.node = LiveVitisNode(self, address, self.subs[address])
+        self.node.network = transport
+
+    # ------------------------------------------------------------------
+    def is_alive(self, address: int) -> bool:
+        """Perceived liveness: a registry member the detector has not
+        confirmed dead.  This is what the routing/election code consults,
+        so confirmed-dead peers are shunned exactly like the simulator's
+        detector-backed liveness."""
+        if address == self.address:
+            return self.node.alive
+        if address not in self.members:
+            return False
+        return self.detector is None or not self.detector.confirmed(address)
+
+    def topic_id(self, topic: int) -> int:
+        tid = self._topic_ids.get(topic)
+        if tid is None:
+            tid = self.space.topic_id(topic)
+            self._topic_ids[topic] = tid
+        return tid
+
+    def profile_of(self, address: int) -> Optional[NodeProfile]:
+        """Ground-truth profile from the shared workload derivation (the
+        fallback ranking source while nothing was heard yet)."""
+        p = self._profiles.get(address)
+        if p is None:
+            if not 0 <= address < len(self.subs):
+                return None
+            p = self._profiles[address] = NodeProfile(
+                address, self.space.node_id(address), self.subs[address]
+            )
+        return p
+
+    def subscribers(self, topic: int) -> Set[int]:
+        """Ground-truth subscriber set (driver-side bookkeeping uses the
+        identical derivation; nodes only need it for local delivery)."""
+        return {a for a, s in enumerate(self.subs) if topic in s}
+
+
+class LiveNodeHost:
+    """Wires one :class:`LiveVitisNode` to transport, detector, seed and
+    collector — and implements the live notification path."""
+
+    #: Hard bound on notification forwarding depth (loop safety net on
+    #: top of per-event dedup; greedy legs are distance-decreasing and
+    #: flood/tree legs are deduped, so this should never bind).
+    MAX_HOPS = 96
+
+    def __init__(
+        self,
+        system: LiveSystem,
+        client: SeedClient,
+        telemetry: Telemetry,
+    ) -> None:
+        self.system = system
+        self.node = system.node
+        self.client = client
+        self.telemetry = telemetry
+        self.transport: UdpTransport = system.network
+        self.detector: Optional[LiveSwimDetector] = None
+        self.shutdown = asyncio.Event()
+        self.published = 0
+        self.delivered = 0
+        self._span_seq = 0
+
+        self.transport.on_message = self._on_message
+        self.transport.on_give_up = self._on_give_up
+        self.transport.notification_sink = self
+        client.on_registry = self._on_registry
+        client.on_push = self._on_command
+
+    @property
+    def address(self) -> int:
+        return self.system.address
+
+    def _new_span_id(self) -> str:
+        """Process-unique string span id; ``build_span_trees`` keys spans
+        by value, so merged traces never collide across processes."""
+        sid = f"n{self.address}x{self._span_seq}"
+        self._span_seq += 1
+        return sid
+
+    # ------------------------------------------------------------------
+    # Inbound datagrams
+    # ------------------------------------------------------------------
+    def _on_message(self, msg) -> None:
+        if self.detector is not None:
+            self.detector.note_heard(msg.src)
+            if self.detector.on_message(msg):
+                return
+        self.node.on_message(msg)
+
+    def _on_give_up(self, msg) -> None:
+        """A reliable send exhausted its retry budget: record the failed
+        edge on the event's span tree (when it carried one) and hand the
+        peer to the liveness layer instead of blocking on it."""
+        tel = self.telemetry
+        if tel.tracing and isinstance(msg, Notification) and msg.span is not None:
+            trace, parent, kind = msg.span
+            tel.event(
+                "span", t=self.system.engine.now, trace=trace,
+                span=self._new_span_id(), parent=parent, kind=kind,
+                src=self.address, dst=msg.dst, hop=msg.hops,
+                status=CAUSE_FAULTED_LINK,
+            )
+        if self.detector is not None:
+            self.detector.on_transport_failure(msg.dst)
+
+    # ------------------------------------------------------------------
+    # Registry / driver control plane
+    # ------------------------------------------------------------------
+    def _on_registry(self, peers: Dict[int, tuple]) -> None:
+        previous = self.system.members
+        self.system.members = set(peers)
+        for addr, endpoint in peers.items():
+            self.transport.endpoints[addr] = endpoint
+            if addr not in previous and self.detector is not None:
+                # A re-announced address starts from a fresh verdict.
+                self.detector.on_rejoin(addr)
+
+    def _on_command(self, obj: Dict) -> None:
+        op = obj.get("op")
+        if op == "publish":
+            self.publish(
+                obj["topic"], obj["event"], obj["trace"], obj["expected"]
+            )
+        elif op == "topo":
+            self.client.send(self._topo_report(obj.get("req")))
+        elif op == "shutdown":
+            self.shutdown.set()
+        else:
+            log.debug("node %d: unknown command %r", self.address, op)
+
+    def _topo_report(self, req) -> Dict:
+        """This node's forwarding topology, as the driver's audit sees it:
+        successor pointer (ring convergence), per-link learned shared
+        interests (the flood edges), and per-topic relay-tree edges."""
+        node = self.node
+        succ = node.rt.successor()
+        own = node.profile.subscriptions
+        flood = []
+        links = sorted(a for a, _ in node.rt.links())
+        for a in links:
+            info = node.neighbor_state.get(a)
+            if info is not None:
+                shared = sorted(own & info.subscriptions)
+                if shared:
+                    flood.append([a, shared])
+        relay = []
+        for t in sorted(set(node.relay.parent) | set(node.relay.children)):
+            relay.append([
+                t,
+                node.relay.parent.get(t),
+                sorted(node.relay.children.get(t, ())),
+            ])
+        return {
+            "op": "topo_report",
+            "req": req,
+            "addr": self.address,
+            "succ": succ.address if succ is not None else None,
+            "links": links,
+            "flood": flood,
+            "relay": relay,
+        }
+
+    # ------------------------------------------------------------------
+    # Detector hooks
+    # ------------------------------------------------------------------
+    def attach_detector(self, detector: LiveSwimDetector) -> None:
+        self.detector = detector
+        self.system.detector = detector
+
+    def evict_confirmed(self, address: int) -> None:
+        """The healing path on a SWIM confirmation: purge the peer from
+        the routing table, learned state and relay trees, and report the
+        obituary to the registry."""
+        node = self.node
+        node.rt.remove(address)
+        node.neighbor_state.pop(address, None)
+        for topic in [t for t, p in node.relay.parent.items() if p == address]:
+            node.relay.drop_topic(topic)
+            node.relay_stamp.pop(topic, None)
+        for topic, kids in list(node.relay.children.items()):
+            kids.discard(address)
+            node.child_stamp.pop((topic, address), None)
+            if not kids:
+                del node.relay.children[topic]
+        self.client.report_dead(address)
+
+    # ------------------------------------------------------------------
+    # The live dissemination path
+    # ------------------------------------------------------------------
+    def publish(self, topic: int, event_id: int, trace: str, expected: int) -> None:
+        """Driver-commanded publish: emit the root span and inject the
+        event exactly as the in-sim publisher would."""
+        tel = self.telemetry
+        node = self.node
+        node.seen_events.add(event_id)
+        self.published += 1
+        sid = None
+        if tel.tracing:
+            sid = self._new_span_id()
+            tel.event(
+                "span", t=self.system.engine.now, trace=trace, span=sid,
+                kind=HOP_PUBLISH, src=self.address, dst=self.address, hop=0,
+                topic=topic, event=event_id, publisher=self.address,
+                subs=expected,
+            )
+        self._forward(
+            topic, event_id, self.address, hops=1, exclude=None,
+            trace=trace, parent_sid=sid, injecting=True,
+        )
+
+    def on_notification(self, node, msg: Notification) -> None:
+        """First-receipt handler (installed as the transport's
+        ``notification_sink``; duplicates were not deduped by the
+        transport — retransmits are — so the event-id check here is the
+        protocol-level duplicate suppression)."""
+        if msg.event_id in node.seen_events:
+            return
+        node.seen_events.add(msg.event_id)
+        tel = self.telemetry
+        meta = msg.span
+        sid = None
+        trace = None
+        subscribed = msg.topic in node.profile.subscriptions
+        if tel.tracing and meta is not None:
+            trace, parent, kind = meta
+            sid = self._new_span_id()
+            now = self.system.engine.now
+            tel.event(
+                "span", t=now, trace=trace, span=sid, parent=parent,
+                kind=kind, src=msg.src, dst=self.address, hop=msg.hops,
+            )
+            if subscribed and self.address != msg.publisher:
+                tel.event(
+                    "span", t=now, trace=trace, span=self._new_span_id(),
+                    parent=sid, kind=HOP_DELIVER, src=self.address,
+                    dst=self.address, hop=msg.hops,
+                )
+        if subscribed and self.address != msg.publisher:
+            self.delivered += 1
+        if msg.hops < self.MAX_HOPS:
+            self._forward(
+                msg.topic, msg.event_id, msg.publisher, hops=msg.hops + 1,
+                exclude=msg.src, trace=trace, parent_sid=sid,
+            )
+
+    def _forward(
+        self,
+        topic: int,
+        event_id: int,
+        publisher: int,
+        hops: int,
+        exclude: Optional[int],
+        trace: Optional[str],
+        parent_sid: Optional[str],
+        injecting: bool = False,
+    ) -> None:
+        """Forward one event along the paper's edge classes (the node-local
+        equivalent of the simulator's ``forwarding_targets``):
+
+        - intra-cluster flood — to every routing-table neighbor whose
+          *learned* profile shares the topic, when this node subscribes;
+        - relay tree — to the topic's parent and children (``rendezvous``
+          kind when dispatched by the tree root);
+        - greedy rendezvous routing — when neither applies, one hop
+          strictly closer to ``hash(topic)`` (the Scribe-style publisher
+          injection and its continuation by non-subscribed relays).
+        """
+        node = self.node
+        system = self.system
+        targets: Dict[int, str] = {}
+        if topic in node.profile.subscriptions:
+            for addr, _nid in node.rt.links():
+                info = node.neighbor_state.get(addr)
+                if info is not None and topic in info.subscriptions:
+                    targets.setdefault(addr, HOP_FLOOD)
+        tree = node.relay.tree_neighbors(topic)
+        if tree:
+            is_root = (
+                node.relay.parent.get(topic) is None
+                and topic in node.relay.children
+            )
+            tree_kind = HOP_RENDEZVOUS if is_root else HOP_RELAY
+            for addr in tree:
+                targets.setdefault(addr, tree_kind)
+        targets.pop(self.address, None)
+        if exclude is not None:
+            targets.pop(exclude, None)
+        if not targets and hops <= system.config.max_lookup_hops:
+            nxt = node._next_hop(system.topic_id(topic))
+            if nxt is not None and nxt != exclude:
+                targets[nxt] = HOP_PUBLISH if injecting else HOP_LOOKUP
+        for dst in sorted(targets):
+            msg = Notification(
+                src=self.address, dst=dst, topic=topic,
+                event_id=event_id, hops=hops, publisher=publisher,
+            )
+            if trace is not None:
+                msg.span = (trace, parent_sid, targets[dst])
+            self.transport.send(msg)
+
+    # ------------------------------------------------------------------
+    # Final accounting
+    # ------------------------------------------------------------------
+    def snapshot_metrics(self) -> None:
+        """Fold transport/detector/protocol counters into the telemetry
+        registry so the collector's merged metrics line up with the
+        simulator's traffic report columns."""
+        m = self.telemetry.metrics
+        t = self.transport
+        m.counter("live_sent_total").inc(sum(t.sent.values()))
+        m.counter("live_delivered_total").inc(sum(t.delivered.values()))
+        m.counter("live_dropped_total").inc(sum(t.dropped.values()))
+        m.counter("live_bytes_sent").inc(t.bytes_sent)
+        m.counter("live_retransmits").inc(t.retransmits)
+        m.counter("live_gave_up").inc(t.gave_up)
+        m.counter("live_duplicates").inc(t.duplicates)
+        m.counter("live_loss_injected").inc(t.loss_injected)
+        m.counter("live_malformed").inc(t.malformed)
+        m.counter("live_published").inc(self.published)
+        m.counter("live_delivered_events").inc(self.delivered)
+        m.counter("backpressure_deferred").inc(self.system.backpressure_deferred)
+        if self.detector is not None:
+            for name, value in self.detector.summary().items():
+                m.counter(name).inc(value)
+
+
+# ----------------------------------------------------------------------
+# Process entry
+# ----------------------------------------------------------------------
+async def run_node(ns) -> int:
+    """Run one node process until the driver says shutdown (or the seed
+    connection drops).  ``ns`` is the parsed ``live node`` namespace."""
+    import random
+
+    workload = LiveWorkload.from_ns(ns)
+    config = VitisConfig(gossip_period=ns.gossip_period)
+
+    net_rng = random.Random()
+    transport = await UdpTransport.create(
+        -1, net_rng, host=ns.bind_host, port=0, loss_rate=ns.loss_rate
+    )
+    host_addr, port = transport.local_addr
+    client = await SeedClient.connect(
+        ns.seed_host, ns.seed_port, host_addr, port, timeout=ns.join_timeout
+    )
+    address = client.address
+    transport.address = address
+
+    sock = socket.create_connection((ns.collector_host, ns.collector_port))
+    fh = sock.makefile("w", encoding="utf-8")
+    writer = TraceWriter(fh, flush_every=200, base={"proc": address})
+    telemetry = Telemetry(trace=writer)
+
+    system = LiveSystem(address, transport, workload, config, telemetry)
+    host = LiveNodeHost(system, client, telemetry)
+    host._on_registry(client.peers)
+
+    node = system.node
+    detector = LiveSwimDetector(
+        address,
+        transport,
+        random.Random(),
+        clock=lambda: system.engine.now,
+        period=config.gossip_period,
+        candidates=lambda: [a for a, _ in node.rt.links()],
+        config=DetectorConfig(),
+        on_confirm=host.evict_confirmed,
+        population=lambda: len(system.members),
+    )
+    host.attach_detector(detector)
+
+    bootstrap_addrs = [a for a in client.peers if a != address]
+    if len(bootstrap_addrs) > config.peer_view_size:
+        bootstrap_addrs = random.Random(workload.seed + address).sample(
+            bootstrap_addrs, config.peer_view_size
+        )
+    node.deploy([
+        Descriptor(a, system.space.node_id(a), 0) for a in bootstrap_addrs
+    ])
+    detector_task = AsyncPeriodicTask(
+        config.gossip_period,
+        detector.tick,
+        first_delay=jittered_period(config.gossip_period, net_rng),
+    )
+
+    # Run until the driver's shutdown command — or until the seed
+    # connection drops (a dead driver must not leave orphans behind).
+    seed_gone = client._reader_task
+    shutdown_wait = asyncio.ensure_future(host.shutdown.wait())
+    try:
+        await asyncio.wait(
+            {shutdown_wait, seed_gone}, return_when=asyncio.FIRST_COMPLETED
+        )
+    finally:
+        shutdown_wait.cancel()
+
+    node.undeploy()
+    detector_task.stop()
+    await transport.drain(timeout=2.0)
+    host.snapshot_metrics()
+    writer.write_record({
+        "ev": "metrics_snapshot",
+        "proc": address,
+        "snapshot": telemetry.snapshot(),
+    })
+    writer.close()
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover - best-effort teardown
+        pass
+    transport.close()
+    await client.close()
+    return 0

@@ -1,0 +1,52 @@
+"""Free-port allocation for tests and the cluster launcher.
+
+Binding to port 0 lets the OS pick a free port; the helpers here bind,
+read the assigned port back and release the socket.  There is an
+unavoidable race between release and reuse, so callers that can should
+bind port 0 themselves and *report* the assigned port (the live node
+does exactly that for its UDP socket) — these helpers are for the cases
+that must name a port up front: the seed and collector services, and
+tests that pass endpoints between processes.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List
+
+__all__ = ["free_tcp_port", "free_udp_port", "free_tcp_ports"]
+
+
+def free_tcp_port(host: str = "127.0.0.1") -> int:
+    """A TCP port that was free at call time on ``host``."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind((host, 0))
+        return s.getsockname()[1]
+
+
+def free_udp_port(host: str = "127.0.0.1") -> int:
+    """A UDP port that was free at call time on ``host``."""
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as s:
+        s.bind((host, 0))
+        return s.getsockname()[1]
+
+
+def free_tcp_ports(n: int, host: str = "127.0.0.1") -> List[int]:
+    """``n`` distinct TCP ports, all free at call time.
+
+    All sockets are held open until every port is drawn, so the list
+    never contains duplicates.
+    """
+    socks, ports = [], []
+    try:
+        for _ in range(n):
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            s.bind((host, 0))
+            socks.append(s)
+            ports.append(s.getsockname()[1])
+    finally:
+        for s in socks:
+            s.close()
+    return ports

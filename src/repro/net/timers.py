@@ -1,0 +1,96 @@
+"""Phase-jittered periodic timers.
+
+Every node in the deployed protocol runs on its own timer whose period is
+drawn once, at deploy time, from a ±``jitter``/2 band around the nominal
+gossip period.  The draw desynchronises the population (no global rounds,
+no thundering herd against shared links) while keeping each node's cadence
+fixed — the form the paper's evaluation assumes and
+:class:`repro.core.deployment.DeployedVitisNode` has always used.
+
+This module is the one home of that draw, shared by the simulated
+deployment mode (:class:`~repro.sim.engine.PeriodicTask` on a simulated
+clock) and the live runtime (:class:`AsyncPeriodicTask` on the asyncio
+clock).  The formula is load-bearing for reproducibility: the simulated
+deployment draws it from the node's own RNG, so moving the code must not
+change the number of draws or their order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine, PeriodicTask
+
+__all__ = ["DEFAULT_JITTER", "jittered_period", "start_periodic", "AsyncPeriodicTask"]
+
+#: Fractional width of the period band: the period is drawn uniformly
+#: from ``[nominal * (1 - J/2), nominal * (1 + J/2)]``.
+DEFAULT_JITTER = 0.2
+
+
+def jittered_period(nominal: float, rng, jitter: float = DEFAULT_JITTER) -> float:
+    """One phase-jitter draw: a fixed per-node period around ``nominal``.
+
+    Consumes exactly one ``rng.random()`` call — callers that replay a
+    seeded run depend on that.
+    """
+    return nominal * (1.0 + jitter * (rng.random() - 0.5))
+
+
+def start_periodic(
+    engine: Engine,
+    nominal: float,
+    rng,
+    callback: Callable[[], Optional[bool]],
+    jitter: float = DEFAULT_JITTER,
+) -> PeriodicTask:
+    """Start a simulated-clock periodic task with a jittered period.
+
+    The first tick fires one (jittered) period from now, matching the
+    historical inline behavior of ``DeployedVitisNode.deploy``.
+    """
+    return PeriodicTask(engine, jittered_period(nominal, rng, jitter), callback)
+
+
+class AsyncPeriodicTask:
+    """The asyncio analogue of :class:`~repro.sim.engine.PeriodicTask`.
+
+    Repeats ``callback`` every ``period`` wall-clock seconds until
+    :meth:`stop` is called or the callback returns ``False``.  The period
+    is fixed; draw it with :func:`jittered_period` for phase spread.  The
+    callback runs on the event loop, so it must not block.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        callback: Callable[[], Optional[bool]],
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        first_delay: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._period = period
+        self._callback = callback
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._stopped = False
+        self.ticks = 0
+        delay = period if first_delay is None else first_delay
+        self._handle = self._loop.call_later(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.ticks += 1
+        keep = self._callback()
+        if keep is False or self._stopped:
+            self._stopped = True
+            return
+        self._handle = self._loop.call_later(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Cancel the task; a pending occurrence will not fire."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

@@ -1,0 +1,286 @@
+"""Asyncio-UDP transport with per-destination ack/retransmit.
+
+The live counterpart of :class:`repro.sim.network.Network`: protocol code
+calls ``transport.send(message)`` with the same
+:mod:`repro.sim.messages` objects it would hand the simulator, and
+received messages surface through one ``on_message`` callback.  The
+differences a real wire forces are all here:
+
+- **Reliability discipline** — control-plane and data-plane kinds are
+  acked per datagram and retransmitted on a capped exponential backoff
+  with jitter (:class:`repro.faults.healing.RetryPolicy`).  The retry
+  budget is bounded: a message still unacked after the last attempt is
+  *given up*, counted, reported via ``on_give_up`` (feeding the liveness
+  layer and the failure-span trace), and dropped — the transport
+  degrades into the protocol's existing fault-aware eviction path
+  instead of blocking on a dead peer.
+- **SWIM kinds are exempt** — probes, acks, suspicions and refutations
+  ride unreliable, exactly as SWIM requires: the detector supplies its
+  own end-to-end semantics, and a transport that retried probes would
+  mask the loss the detector exists to measure.
+- **Dedup** — retransmission implies duplicates; receivers drop repeats
+  by ``(sender, seq)`` within a bounded window and re-ack them (the
+  first ack may have been the lost datagram).
+- **Loss injection** — an optional ``loss_rate`` drops incoming
+  datagrams (data *and* acks) with i.i.d. probability, the live
+  analogue of :class:`repro.faults.models.LossyNetwork`; tests and the
+  CI live-smoke cluster run with it on.
+
+Counter names mirror the simulator's ``Network`` (``sent``,
+``delivered``, ``dropped`` per kind, plus per-address tallies), so the
+live and simulated traffic reports line up column for column.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from collections import Counter, deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.faults.healing import RetryPolicy
+from repro.net import wire
+from repro.sim.messages import Message
+
+__all__ = ["UdpTransport", "UNRELIABLE_KINDS"]
+
+log = logging.getLogger(__name__)
+
+#: Kinds sent fire-and-forget (see module docstring).
+UNRELIABLE_KINDS = frozenset(
+    {"Probe", "ProbeReq", "ProbeAck", "Suspicion", "Refutation"}
+)
+
+#: Per-sender dedup window: remembered ``seq`` values per peer.
+_DEDUP_WINDOW = 4096
+
+
+class _Pending:
+    """One unacked reliable datagram awaiting its ack."""
+
+    __slots__ = ("msg", "data", "endpoint", "attempts", "handle")
+
+    def __init__(self, msg, data, endpoint) -> None:
+        self.msg = msg
+        self.data = data
+        self.endpoint = endpoint
+        self.attempts = 1
+        self.handle = None
+
+
+class _Protocol(asyncio.DatagramProtocol):
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def connection_made(self, transport) -> None:
+        self._owner._sock = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._owner._on_datagram(data, addr)
+
+    def error_received(self, exc) -> None:
+        # ICMP unreachable etc.; retransmission handles it.
+        log.debug("transport error: %s", exc)
+
+
+class UdpTransport:
+    """One node's UDP endpoint (create with :meth:`create`).
+
+    Parameters
+    ----------
+    address:
+        This node's overlay address (stamped as ``src`` on acks).
+    rng:
+        Dedicated ``random.Random`` for backoff jitter and loss dice.
+    retry:
+        The :class:`RetryPolicy`; defaults apply when omitted.
+    loss_rate:
+        Probability of dropping each *incoming* datagram (test/CI fault
+        injection; 0 = perfect wire).
+    """
+
+    def __init__(
+        self,
+        address: int,
+        rng,
+        retry: Optional[RetryPolicy] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.address = address
+        self.rng = rng
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.loss_rate = loss_rate
+        #: overlay address → (host, port); fed by the bootstrap registry.
+        self.endpoints: Dict[int, Tuple[str, int]] = {}
+        #: Delivery callback: ``on_message(msg)`` (set by the node host).
+        self.on_message: Optional[Callable[[Message], None]] = None
+        #: Retry-budget exhaustion callback: ``on_give_up(msg)``.
+        self.on_give_up: Optional[Callable[[Message], None]] = None
+        # Simulator-compatible surface consumed by DeployedVitisNode.
+        self.capacity = None
+        self.notification_sink = None
+        # Traffic accounting (mirrors repro.sim.network.Network).
+        self.sent = Counter()
+        self.delivered = Counter()
+        self.dropped = Counter()
+        self.sent_by_addr = Counter()
+        self.delivered_by_addr = Counter()
+        self.bytes_sent = 0
+        self.retransmits = 0
+        self.gave_up = 0
+        self.duplicates = 0
+        self.loss_injected = 0
+        self.malformed = 0
+        self._seq = 0
+        self._pending: Dict[int, _Pending] = {}
+        self._seen: Dict[int, set] = {}
+        self._seen_order: Dict[int, deque] = {}
+        self._sock = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    async def create(
+        cls,
+        address: int,
+        rng,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        loss_rate: float = 0.0,
+    ) -> "UdpTransport":
+        """Bind a UDP socket (port 0 = OS-assigned) and start receiving."""
+        self = cls(address, rng, retry=retry, loss_rate=loss_rate)
+        self._loop = asyncio.get_running_loop()
+        await self._loop.create_datagram_endpoint(
+            lambda: _Protocol(self), local_addr=(host, port)
+        )
+        return self
+
+    @property
+    def local_addr(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — report this to the seed registry."""
+        return self._sock.get_extra_info("sockname")[:2]
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, msg: Message) -> bool:
+        """Send one message; returns False when it was dropped outright
+        (unknown destination or closed transport)."""
+        if self._closed:
+            return False
+        kind = msg.kind
+        endpoint = self.endpoints.get(msg.dst)
+        if endpoint is None:
+            self.dropped[kind] += 1
+            return False
+        self._seq += 1
+        seq = self._seq
+        data = wire.encode(msg, seq)
+        self.sent[kind] += 1
+        self.sent_by_addr[self.address] += 1
+        self.bytes_sent += len(data)
+        self._sock.sendto(data, endpoint)
+        if kind not in UNRELIABLE_KINDS:
+            pending = self._pending[seq] = _Pending(msg, data, endpoint)
+            pending.handle = self._loop.call_later(
+                self.retry.delay(1, self.rng), self._on_timeout, seq
+            )
+        return True
+
+    def _on_timeout(self, seq: int) -> None:
+        pending = self._pending.get(seq)
+        if pending is None or self._closed:
+            return
+        if pending.attempts >= self.retry.max_attempts:
+            del self._pending[seq]
+            self.gave_up += 1
+            self.dropped[pending.msg.kind] += 1
+            if self.on_give_up is not None:
+                self.on_give_up(pending.msg)
+            return
+        pending.attempts += 1
+        self.retransmits += 1
+        self._sock.sendto(pending.data, pending.endpoint)
+        pending.handle = self._loop.call_later(
+            self.retry.delay(pending.attempts, self.rng), self._on_timeout, seq
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, addr) -> None:
+        if self._closed:
+            return
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.loss_injected += 1
+            return
+        try:
+            msg, envelope = wire.decode(data)
+        except wire.WireError:
+            self.malformed += 1
+            return
+        if msg is None:  # an ack for one of our reliable sends
+            pending = self._pending.pop(envelope["n"], None)
+            if pending is not None and pending.handle is not None:
+                pending.handle.cancel()
+            return
+        kind = msg.kind
+        if kind not in UNRELIABLE_KINDS:
+            # Ack first — even duplicates (our previous ack may be the
+            # datagram the wire ate).
+            self._sock.sendto(
+                wire.encode_ack(envelope["n"], self.address, msg.src), addr
+            )
+            if self._is_duplicate(msg.src, envelope["n"]):
+                self.duplicates += 1
+                return
+        # A datagram is as good as a registry row: learn the endpoint.
+        self.endpoints.setdefault(msg.src, (addr[0], addr[1]))
+        self.delivered[kind] += 1
+        self.delivered_by_addr[self.address] += 1
+        if self.on_message is not None:
+            self.on_message(msg)
+
+    def _is_duplicate(self, src: int, seq: int) -> bool:
+        seen = self._seen.get(src)
+        if seen is None:
+            seen = self._seen[src] = set()
+            self._seen_order[src] = deque()
+        if seq in seen:
+            return True
+        seen.add(seq)
+        order = self._seen_order[src]
+        order.append(seq)
+        if len(order) > _DEDUP_WINDOW:
+            seen.discard(order.popleft())
+        return False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Reliable sends still awaiting their ack."""
+        return len(self._pending)
+
+    async def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until every reliable send is acked or given up.
+
+        Returns True when the pending set emptied within ``timeout``.
+        """
+        deadline = self._loop.time() + timeout
+        while self._pending and self._loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        return not self._pending
+
+    def close(self) -> None:
+        self._closed = True
+        for pending in self._pending.values():
+            if pending.handle is not None:
+                pending.handle.cancel()
+        self._pending.clear()
+        if self._sock is not None:
+            self._sock.close()

@@ -28,12 +28,24 @@ class TraceWriter:
     ----------
     target:
         A path to open (truncating) or an already-open text file object
-        (kept open on :meth:`close`; useful for in-memory ``StringIO``).
+        (kept open on :meth:`close`; useful for in-memory ``StringIO``
+        or a socket's ``makefile`` when streaming to a collector).
     flush_every:
         Buffered line count that triggers a write-through.
+    base:
+        Fields stamped onto every emitted record (unless the event sets
+        them itself).  Multi-process runs tag each stream at the source
+        — e.g. ``base={"proc": address}`` — so the collector can merge
+        streams without rewriting records (the live analogue of the
+        parallel executor's per-trial ``trial`` tag).
     """
 
-    def __init__(self, target: Union[str, TextIO], flush_every: int = 1000) -> None:
+    def __init__(
+        self,
+        target: Union[str, TextIO],
+        flush_every: int = 1000,
+        base: Optional[Dict] = None,
+    ) -> None:
         if isinstance(target, str):
             self._fh: TextIO = open(target, "w", encoding="utf-8")
             self._owns_fh = True
@@ -42,6 +54,7 @@ class TraceWriter:
             self._owns_fh = False
         self._buffer: List[str] = []
         self._flush_every = max(1, flush_every)
+        self._base = dict(base) if base else None
         self._t0 = time.perf_counter()
         self._closed = False
         self.events_written = 0
@@ -56,6 +69,9 @@ class TraceWriter:
             record["t"] = round(float(t), 6)
         record["wall"] = round(time.perf_counter() - self._t0, 6)
         record.update(fields)
+        if self._base is not None:
+            for k, v in self._base.items():
+                record.setdefault(k, v)
         self._buffer.append(json.dumps(record, default=str))
         self.events_written += 1
         if len(self._buffer) >= self._flush_every:

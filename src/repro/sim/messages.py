@@ -23,8 +23,8 @@ volume, which is what makes graceful degradation possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
     "Message",
@@ -49,6 +49,7 @@ __all__ = [
     "PRIO_CONTROL",
     "KIND_PRIORITY",
     "priority_of",
+    "payload_fields",
 ]
 
 # ----------------------------------------------------------------------
@@ -102,6 +103,30 @@ KIND_PRIORITY: Dict[str, int] = {
 def priority_of(kind: str) -> int:
     """The priority class of a message kind (unknown kinds are data)."""
     return KIND_PRIORITY.get(kind, PRIO_NOTIFY)
+
+
+#: Base-class fields that are transport framing, not payload.  The wire
+#: codec (:mod:`repro.net.wire`) carries them in its own envelope, and
+#: ``size_bytes`` already charges them as the fixed header.
+_FRAMING_FIELDS = ("src", "dst", "size")
+
+_PAYLOAD_FIELD_CACHE: Dict[type, Tuple[str, ...]] = {}
+
+
+def payload_fields(message_cls: type) -> Tuple[str, ...]:
+    """The payload field names of a message class, in declaration order.
+
+    This is the same field set ``size_bytes`` audits (everything beyond
+    the fixed header): the wire codec enumerates payloads with it so the
+    encoded form and the byte-accounting model can never drift apart.
+    """
+    cached = _PAYLOAD_FIELD_CACHE.get(message_cls)
+    if cached is None:
+        cached = tuple(
+            f.name for f in fields(message_cls) if f.name not in _FRAMING_FIELDS
+        )
+        _PAYLOAD_FIELD_CACHE[message_cls] = cached
+    return cached
 
 
 #: Fixed per-message overhead: src + dst addresses and a kind tag, 8 bytes

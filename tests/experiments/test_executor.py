@@ -105,6 +105,40 @@ class TestResultCache:
         with pytest.raises(ValueError):
             run_sweep(Sweep("t"), resume=True)
 
+    def test_orphaned_tmp_from_crashed_writer_is_cleaned(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        full = run_sweep(sweep, cache=cache)
+
+        # A writer killed between mkstemp and os.replace strands a .tmp
+        # next to the entries, and the entry it was replacing is gone.
+        sweep2 = scenarios.fig4_spec(seed=1, **FIG4_KW)
+        victim = cache.path(sweep2.name, trial_key(sweep2, sweep2.trials[0]))
+        victim.unlink()
+        orphan = victim.parent / "deadbeef0123.tmp"
+        orphan.write_text('{"key": "partial')
+        old = orphan.stat().st_mtime - 7200
+        import os
+        os.utime(orphan, (old, old))
+
+        rec = RecordingExecutor()
+        resumed = run_sweep(sweep2, executor=rec, cache=cache, resume=True)
+        assert rec.ran == [sweep2.trials[0].key]
+        assert not orphan.exists()
+        assert not list(victim.parent.glob("*.tmp"))
+        assert json.dumps(full, sort_keys=True) == json.dumps(resumed, sort_keys=True)
+
+    def test_fresh_tmp_of_concurrent_writer_is_spared(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sweep_dir = tmp_path / "s"
+        sweep_dir.mkdir()
+        inflight = sweep_dir / "inflight.tmp"
+        inflight.write_text("{}")
+        assert cache.cleanup_orphans("s") == 0  # younger than max_age
+        assert inflight.exists()
+        assert cache.cleanup_orphans("s", max_age=0.0) == 1
+        assert not inflight.exists()
+
     def test_cache_files_carry_spec(self, tmp_path):
         cache = ResultCache(tmp_path)
         sweep = scenarios.fig4_spec(seed=1, **FIG4_KW)

@@ -1,0 +1,88 @@
+"""SWIM refutation under sustained 10% message loss.
+
+The property, in both hosting environments: a node that is *alive but
+looks flaky* (lost probes, lost acks) gets suspected — and the
+refutation path clears every suspicion before its grace deadline, so a
+live node is never confirmed dead by loss alone.
+
+- in-sim: :class:`repro.faults.detector.SwimDetector` against the
+  ``MessageLoss`` fault model inside the cycle simulator;
+- live: :class:`repro.net.liveness.LiveSwimDetector` instances probing
+  each other over real loopback UDP datagrams with receiver-side loss
+  injection — every protocol leg (probe, probe-req, ack, suspicion,
+  refutation) an actual unreliable datagram.
+"""
+
+import asyncio
+import random
+
+from repro.core.config import VitisConfig
+from repro.core.protocol import VitisProtocol
+from repro.faults import DetectorConfig, HealingPolicy, MessageLoss, SwimDetector
+from repro.faults.detector import STATE_DEAD
+from repro.net.liveness import LiveSwimDetector
+from repro.net.transport import UdpTransport
+from tests.conftest import small_subscriptions
+
+
+def test_in_sim_refutation_survives_sustained_ten_percent_loss():
+    p = VitisProtocol(
+        small_subscriptions(seed=5),
+        VitisConfig(rt_size=10, n_sw_links=1),
+        seed=5, election_every=0, relay_every=0,
+    )
+    p.run_cycles(40)
+    p.finalize()
+    det = SwimDetector(random.Random(6), DetectorConfig())
+    p.attach_detector(det)
+    p.attach_faults(MessageLoss(0.1, random.Random(106)), HealingPolicy())
+    p.run_cycles(40)
+
+    # Loss produced real probe misses and real suspicions...
+    assert det.probe_misses > 0
+    assert det.suspicions >= 1
+    # ...and refutation (not expiry) resolved them: nobody died.
+    assert det.refutations >= 1
+    assert det.confirmations == 0
+    assert p.false_evictions == 0
+    for a in p.live_addresses():
+        assert det.state_of(a) != STATE_DEAD
+
+
+def test_live_refutation_over_lossy_loopback_udp():
+    async def run():
+        period = 0.05
+        rng = random.Random(0)
+        # 10% receiver-side loss on both ends; all SWIM kinds ride the
+        # transport's unreliable class, so every leg can genuinely drop.
+        ta = await UdpTransport.create(0, random.Random(1), loss_rate=0.1)
+        tb = await UdpTransport.create(1, random.Random(2), loss_rate=0.1)
+        ta.endpoints[1] = tb.local_addr
+        tb.endpoints[0] = ta.local_addr
+        clock = asyncio.get_running_loop().time
+        da = LiveSwimDetector(0, ta, rng, clock=clock, period=period,
+                              candidates=lambda: [1], config=DetectorConfig())
+        db = LiveSwimDetector(1, tb, rng, clock=clock, period=period,
+                              candidates=lambda: [0], config=DetectorConfig())
+        ta.on_message = da.on_message
+        tb.on_message = db.on_message
+        try:
+            # Sustain suspicion pressure: plant B's obituary at A for a
+            # few rounds (as consecutive missed probe rounds would),
+            # while both detectors keep ticking over the lossy wire.
+            for i in range(40):
+                if i < 6:
+                    da._suspect(1, clock())
+                da.tick()
+                db.tick()
+                await asyncio.sleep(period)
+            # B heard its obituary, outbid it, and the refutation (or a
+            # delivered probe-ack) cleared A's suspicion before expiry.
+            assert da.suspicions >= 1
+            assert not da.suspected(1) and not da.confirmed(1)
+            assert da.confirmations == 0
+            assert db.incarnation >= 1  # B bumped to outbid the obituary
+        finally:
+            ta.close()
+            tb.close()
+    asyncio.run(run())

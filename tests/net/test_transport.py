@@ -1,0 +1,119 @@
+"""repro.net.transport: loopback UDP pairs, loss, retry, dedup, give-up."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.faults.healing import RetryPolicy
+from repro.net.transport import UdpTransport
+from repro.sim import messages as M
+
+
+async def _pair(loss_a=0.0, loss_b=0.0, retry=None):
+    a = await UdpTransport.create(0, random.Random(1), retry=retry, loss_rate=loss_a)
+    b = await UdpTransport.create(1, random.Random(2), retry=retry, loss_rate=loss_b)
+    a.endpoints[1] = b.local_addr
+    b.endpoints[0] = a.local_addr
+    return a, b
+
+
+def test_reliable_delivery_over_perfect_wire():
+    async def run():
+        a, b = await _pair()
+        got = []
+        b.on_message = got.append
+        for i in range(20):
+            assert a.send(M.Notification(src=0, dst=1, topic=i, event_id=i))
+        assert await a.drain(2.0)
+        assert sorted(m.topic for m in got) == list(range(20))
+        assert b.duplicates == 0
+        a.close(); b.close()
+    asyncio.run(run())
+
+
+def test_reliable_delivery_under_sustained_loss():
+    async def run():
+        # 20% loss on both directions; the retry budget still gets every
+        # message through, with no duplicate deliveries to the app.
+        retry = RetryPolicy(max_attempts=8, base_delay=0.02, max_delay=0.1)
+        a, b = await _pair(loss_a=0.2, loss_b=0.2, retry=retry)
+        got = []
+        b.on_message = got.append
+        for i in range(30):
+            a.send(M.RelayInstall(src=0, dst=1, topic=i, target_id=i, origin=0, hops=1))
+        assert await a.drain(10.0)
+        assert sorted(m.topic for m in got) == list(range(30))
+        assert a.retransmits > 0
+        assert b.loss_injected > 0
+        a.close(); b.close()
+    asyncio.run(run())
+
+
+def test_retry_budget_exhaustion_reports_give_up():
+    async def run():
+        retry = RetryPolicy(max_attempts=3, base_delay=0.02, max_delay=0.05)
+        a = await UdpTransport.create(0, random.Random(1), retry=retry)
+        # Endpoint points at a port nobody listens on: every attempt dies.
+        a.endpoints[1] = ("127.0.0.1", 1)  # privileged port, nothing there
+        gave_up = []
+        a.on_give_up = gave_up.append
+        msg = M.ProfileMessage(src=0, dst=1, profile=(frozenset(), 0, {}, False))
+        a.send(msg)
+        await asyncio.sleep(0.5)
+        assert a.gave_up == 1
+        assert gave_up == [msg]
+        assert a.pending_count == 0  # degraded, not blocked
+        a.close()
+    asyncio.run(run())
+
+
+def test_unknown_destination_drops_immediately():
+    async def run():
+        a = await UdpTransport.create(0, random.Random(1))
+        assert not a.send(M.Probe(src=0, dst=99, target=99))
+        assert a.dropped["Probe"] == 1
+        a.close()
+    asyncio.run(run())
+
+
+def test_swim_kinds_ride_unreliable():
+    async def run():
+        a, b = await _pair()
+        got = []
+        b.on_message = got.append
+        a.send(M.Probe(src=0, dst=1, target=1, incarnation=0))
+        await asyncio.sleep(0.1)
+        assert [m.kind for m in got] == ["Probe"]
+        assert a.pending_count == 0  # no ack awaited, no retransmit state
+        a.close(); b.close()
+    asyncio.run(run())
+
+
+def test_malformed_datagrams_are_counted_not_fatal():
+    async def run():
+        a, b = await _pair()
+        got = []
+        b.on_message = got.append
+        a._sock.sendto(b"garbage{{{", b.local_addr)
+        a.send(M.PullRequest(src=0, dst=1, event_id=5))
+        assert await a.drain(2.0)
+        assert b.malformed == 1
+        assert [m.kind for m in got] == ["PullRequest"]
+        a.close(); b.close()
+    asyncio.run(run())
+
+
+def test_counters_mirror_network_shape():
+    async def run():
+        a, b = await _pair()
+        b.on_message = lambda m: None
+        a.send(M.Notification(src=0, dst=1, topic=1, event_id=1))
+        await a.drain(2.0)
+        assert a.sent["Notification"] == 1
+        assert b.delivered["Notification"] == 1
+        assert a.sent_by_addr[0] == 1
+        assert b.delivered_by_addr[1] == 1
+        assert a.bytes_sent > 0
+        a.close(); b.close()
+    asyncio.run(run())

@@ -1,0 +1,107 @@
+"""repro.net.wire: versioned codec round-trips and rejection paths."""
+
+import json
+
+import pytest
+
+from repro.core.gateway import Proposal
+from repro.net import wire
+from repro.sim import messages as M
+from repro.sim.messages import payload_fields
+
+
+def _roundtrip(msg):
+    decoded, envelope = wire.decode(wire.encode(msg, seq=7))
+    assert envelope["n"] == 7
+    assert envelope["v"] == wire.WIRE_VERSION
+    return decoded
+
+
+def test_roundtrip_simple_kinds():
+    for msg in (
+        M.Notification(src=1, dst=2, topic=9, event_id=4, hops=3, publisher=1),
+        M.PullRequest(src=1, dst=2, event_id=4),
+        M.LookupMessage(src=1, dst=2, target_id=55, origin=1, hops=2),
+        M.RelayInstall(src=1, dst=2, topic=3, target_id=4, origin=5, hops=6),
+        M.Probe(src=1, dst=2, target=2, incarnation=3),
+        M.ProbeReq(src=1, dst=2, target=5, origin=1),
+        M.ProbeAck(src=2, dst=1, target=2, incarnation=3),
+        M.Suspicion(src=1, dst=2, target=5, incarnation=0),
+        M.Refutation(src=5, dst=1, target=5, incarnation=1),
+    ):
+        assert _roundtrip(msg) == msg
+
+
+def test_roundtrip_descriptor_views():
+    msg = M.PsExchangeRequest(src=3, dst=4, view=[(1, 100, 0), (2, 200, 5)])
+    assert _roundtrip(msg) == msg
+    msg = M.RtExchangeReply(src=3, dst=4, buffer=[(9, 900, 1)])
+    assert _roundtrip(msg) == msg
+
+
+def test_roundtrip_profile_with_proposals():
+    profile = (
+        frozenset({3, 1, 2}),
+        4,
+        {7: Proposal(1, 100, 2, 3), 9: Proposal(5, 500, 6, 1)},
+        False,
+    )
+    out = _roundtrip(M.ProfileMessage(src=1, dst=2, profile=profile))
+    assert out.profile == profile
+    assert isinstance(out.profile[0], frozenset)
+    assert isinstance(out.profile[2][7], Proposal)
+
+
+def test_span_metadata_rides_the_envelope():
+    msg = M.Notification(src=1, dst=2, topic=3, event_id=4)
+    msg.span = ("e5", "n1x0", "flood")
+    decoded, _ = wire.decode(wire.encode(msg, seq=1))
+    assert decoded.span == ("e5", "n1x0", "flood")
+
+
+def test_encoding_is_deterministic():
+    msg = M.ProfileMessage(
+        src=1, dst=2,
+        profile=(frozenset({5, 3}), 1, {2: Proposal(1, 2, 3, 4)}, True),
+    )
+    assert wire.encode(msg, 3) == wire.encode(msg, 3)
+
+
+def test_wrong_version_and_garbage_rejected():
+    with pytest.raises(wire.WireError):
+        wire.decode(b"\xff\x00 not json")
+    with pytest.raises(wire.WireError):
+        wire.decode(json.dumps({"v": 999, "k": "Probe"}).encode())
+    with pytest.raises(wire.WireError):
+        wire.decode(json.dumps(
+            {"v": wire.WIRE_VERSION, "k": "NoSuchKind", "n": 1, "s": 0, "d": 1,
+             "p": {}}).encode())
+
+
+def test_ack_roundtrip():
+    msg, envelope = wire.decode(wire.encode_ack(42, src=3, dst=9))
+    assert msg is None
+    assert envelope["k"] == wire.ACK_KIND
+    assert envelope["n"] == 42 and envelope["s"] == 3 and envelope["d"] == 9
+
+
+def test_payload_fields_excludes_framing():
+    assert payload_fields(M.Notification) == ("topic", "event_id", "hops", "publisher")
+    assert payload_fields(M.Probe) == ("target", "incarnation")
+    for cls in wire.MESSAGE_KINDS.values():
+        assert not set(payload_fields(cls)) & {"src", "dst", "size"}
+
+
+def test_encoded_size_tracks_size_bytes_audit():
+    # The codec enumerates exactly the fields size_bytes audits, so the
+    # real datagram should stay within a small constant factor of the
+    # audited estimate for representative kinds.
+    msgs = [
+        M.Notification(src=1, dst=2, topic=3, event_id=4, hops=1, publisher=1),
+        M.RtExchangeRequest(src=1, dst=2, buffer=[(i, i * 7, 0) for i in range(15)]),
+        M.RelayInstall(src=1, dst=2, topic=3, target_id=4, origin=5, hops=6),
+    ]
+    for msg in msgs:
+        actual = len(wire.encode(msg, 1))
+        audited = msg.size_bytes
+        assert audited / 4 <= actual <= audited * 4
