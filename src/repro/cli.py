@@ -6,6 +6,7 @@
     python -m repro fig4 [--csv out.csv] [--seed N] [--scale X]
     python -m repro fig9
     python -m repro trace-report TRACE.jsonl [--audit] [--trees N]
+    python -m repro live-report SERIES.json  # live cluster --series-out
     python -m repro bench --scenario fig7 [--profile] [--compare BASE.json]
     python -m repro bench-report BENCH_fig7.json
     ...
@@ -133,11 +134,12 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "command",
         help="'list', 'fig4'..'fig12', an ablation name, 'trace-report', "
-             "'bench' or 'bench-report'",
+             "'live-report', 'bench' or 'bench-report'",
     )
     parser.add_argument(
         "target", nargs="?",
         help="trace-report: the JSONL trace file to analyse; "
+             "live-report: the live series JSON (live cluster --series-out); "
              "bench-report: the BENCH_*.json file (or scenario name)",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
@@ -292,10 +294,10 @@ def main(argv: List[str] | None = None) -> int:
         parser.error("--audit/--trees/--hotspots only apply to the "
                      "trace-report command")
     if args.target is not None and args.command not in (
-        "trace-report", "bench-report"
+        "trace-report", "live-report", "bench-report"
     ):
-        parser.error("a positional target only applies to the trace-report "
-                     "and bench-report commands")
+        parser.error("a positional target only applies to the trace-report, "
+                     "live-report and bench-report commands")
     bench_flags = (
         args.scenario or args.profile or args.compare or args.tolerances
         or args.update_baseline or args.bench_out or args.no_memory
@@ -358,6 +360,9 @@ def main(argv: List[str] | None = None) -> int:
 
     if args.command == "trace-report":
         return _trace_report(parser, args)
+
+    if args.command == "live-report":
+        return _live_report(parser, args)
 
     if args.command == "bench":
         return _bench(parser, args)
@@ -439,6 +444,10 @@ def _trace_report(parser: argparse.ArgumentParser, args) -> int:
     except OSError as exc:
         print(f"cannot read {args.target}: {exc}", file=sys.stderr)
         return 2
+    if not events:
+        print(f"{args.target}: trace file is empty (no events to report)",
+              file=sys.stderr)
+        return 2
     text, audit, env = trace_report(
         events, n_trees=args.trees, n_hotspots=args.hotspots
     )
@@ -459,6 +468,38 @@ def _trace_report(parser: argparse.ArgumentParser, args) -> int:
             print("audit: FAILED — " + "; ".join(failed), file=sys.stderr)
             return 1
         print("audit: OK", file=sys.stderr)
+    return 0
+
+
+def _live_report(parser: argparse.ArgumentParser, args) -> int:
+    """``python -m repro live-report SERIES.json``.
+
+    Renders the live metrics series a cluster run persisted with
+    ``live cluster --metrics-interval I --series-out SERIES.json`` as a
+    health timeline: the complete SWIM verdict-transition log,
+    retransmit/give-up/delivery evolution, the delivery-hops
+    distribution, and ring-convergence progress.
+    """
+    if not args.target:
+        parser.error("live-report needs a series file: "
+                     "repro live-report SERIES.json "
+                     "(written by live cluster --series-out)")
+    from repro.obs.report import live_report
+
+    try:
+        with open(args.target, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"cannot read {args.target}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"{args.target}: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(live_report(doc))
+    except ValueError as exc:
+        print(f"{args.target}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

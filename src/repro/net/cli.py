@@ -1,21 +1,32 @@
 """``python -m repro live ...`` — the real-network deployment commands.
 
-Two subcommands:
+Three subcommands:
 
 ``live node``
     One overlay member: joins via the seed service, gossips over UDP,
-    streams its observability JSONL to the collector, and obeys driver
-    commands (publish/topo/shutdown) pushed over the seed connection.
-    Normally spawned by ``live cluster``, but runnable by hand against a
-    standing seed for ad-hoc experiments.
+    streams its observability JSONL to the collector (plus periodic
+    ``metrics_delta`` frames when ``--metrics-interval`` is set), and
+    obeys driver commands (publish/topo/shutdown) pushed over the seed
+    connection.  Normally spawned by ``live cluster``, but runnable by
+    hand against a standing seed for ad-hoc experiments.
 
 ``live cluster``
     The launcher/driver: hosts the seed + collector, spawns ``--procs``
     node subprocesses on loopback, waits for ring convergence, drives a
     fig4-style measurement, audits the merged trace (zero unexplained
     misses is a hard gate), and bands the live hit ratio against an
-    in-sim run of the identical workload.  Exit code 0 only when every
+    in-sim run of the identical workload.  With ``--metrics-interval``
+    it also serves the streamed per-node metrics live: an OpenMetrics
+    scrape endpoint (``/metrics``) plus the ``live status`` JSON
+    (``/status.json``), and ``--series-out`` persists the stored series
+    for ``python -m repro live-report``.  Exit code 0 only when every
     gate passes.
+
+``live status``
+    Top-style console over a running cluster's ``/status.json`` — one
+    row per node (queue depth, retransmit/give-up rates, SWIM verdict)
+    plus the cluster hit ratio so far, refreshing until interrupted
+    (``--once`` prints a single table and exits).
 """
 
 from __future__ import annotations
@@ -48,6 +59,9 @@ def _add_shared_args(parser: argparse.ArgumentParser) -> None:
                         help="seconds per gossip round (real time)")
     parser.add_argument("--join-timeout", type=float, default=30.0,
                         help="seconds to wait for the bootstrap handshake")
+    parser.add_argument("--metrics-interval", type=float, default=0.0,
+                        help="seconds between streamed metrics snapshot "
+                             "frames (0 disables streaming)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,8 +107,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the in-sim prediction band")
     cluster.add_argument("--verbose", action="store_true",
                          help="inherit subprocess stdout/stderr")
+    cluster.add_argument("--metrics-port", type=int, default=0,
+                         help="OpenMetrics endpoint port (0 = ephemeral; "
+                              "only served when --metrics-interval > 0)")
+    cluster.add_argument("--series-out", default=None,
+                         help="persist the live metrics series store "
+                              "(JSON) for `python -m repro live-report`")
     _add_shared_args(cluster)
     _add_workload_args(cluster, with_n_nodes=False)
+
+    status = sub.add_parser(
+        "status", help="top-style console over a running cluster's metrics"
+    )
+    status.add_argument("--host", default="127.0.0.1",
+                        help="metrics endpoint host")
+    status.add_argument("--port", type=int, required=True,
+                        help="metrics endpoint port (the cluster prints it)")
+    status.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between refreshes")
+    status.add_argument("--once", action="store_true",
+                        help="print one table and exit")
 
     return parser
 
@@ -104,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if ns.live_command == "node":
         from repro.net.node import run_node
         return asyncio.run(run_node(ns))
+    if ns.live_command == "status":
+        from repro.net.status import run_status
+        return run_status(ns)
     # cluster: the workload's n_nodes is the process count.
     ns.n_nodes = ns.procs
     from repro.net.cluster import run_cluster

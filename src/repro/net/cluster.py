@@ -35,9 +35,11 @@ shutdown within the timeout.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import os
 import sys
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +50,7 @@ from repro.core.identifiers import IdSpace
 from repro.core.utility import PublicationRates
 from repro.net.bootstrap import SeedService
 from repro.net.collector import Collector
+from repro.net.exporter import MetricsEndpoint
 from repro.net.node import LiveWorkload
 from repro.obs.audit import AuditReport, audit_trace
 from repro.obs.spans import CAUSE_DEAD_NODE, CAUSE_FAULTED_LINK, CAUSE_NO_PATH
@@ -92,6 +95,14 @@ class ClusterResult:
     #: Cluster-wide counters folded from every process's final metrics
     #: snapshot (same names as the in-sim traffic report plus live_*).
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: host:port of the OpenMetrics endpoint (when streaming was on).
+    metrics_endpoint: Optional[str] = None
+    #: Where the live series store was persisted (``--series-out``).
+    series_path: Optional[str] = None
+    #: Frames the streaming pipeline saw / dropped, SWIM transitions seen.
+    metrics_frames: int = 0
+    dropped_frames: int = 0
+    swim_transitions: int = 0
 
     @property
     def ok(self) -> bool:
@@ -132,6 +143,15 @@ class ClusterResult:
             lines.append(
                 "swim: " + ", ".join(f"{k}={v}" for k, v in swim.items())
             )
+        if self.metrics_endpoint:
+            lines.append(
+                f"metrics: http://{self.metrics_endpoint}/metrics "
+                f"({self.metrics_frames} frames, "
+                f"{self.dropped_frames} dropped, "
+                f"{self.swim_transitions} swim transitions)"
+            )
+        if self.series_path:
+            lines.append(f"live series: {self.series_path}")
         if self.trace_path:
             lines.append(f"merged trace: {self.trace_path}")
         for f in self.failures:
@@ -149,6 +169,7 @@ def _node_command(ns, seed_addr: Tuple[str, int], col_addr: Tuple[str, int],
         "--loss-rate", str(ns.loss_rate),
         "--gossip-period", str(ns.gossip_period),
         "--join-timeout", str(ns.join_timeout),
+        "--metrics-interval", str(getattr(ns, "metrics_interval", 0.0)),
         *workload.cli_args(),
     ]
 
@@ -256,6 +277,16 @@ async def run_cluster(ns) -> ClusterResult:
 
     seed = await SeedService.start(ns.bind_host)
     collector = await Collector.start(ns.bind_host)
+    streaming = getattr(ns, "metrics_interval", 0.0) > 0
+    endpoint: Optional[MetricsEndpoint] = None
+    if streaming:
+        endpoint = await MetricsEndpoint.start(
+            collector.store, ns.bind_host, getattr(ns, "metrics_port", 0)
+        )
+        host, port = endpoint.local_addr
+        result.metrics_endpoint = f"{host}:{port}"
+        print(f"metrics endpoint: http://{host}:{port}/metrics "
+              f"(status: /status.json)", flush=True)
     topo_reports: Dict[object, Dict[int, Dict]] = {}
 
     def on_node_message(addr: int, obj: Dict) -> None:
@@ -300,9 +331,11 @@ async def run_cluster(ns) -> ClusterResult:
             if len(reports) == ns.procs:
                 succ = {a: r.get("succ") for a, r in reports.items()}
                 if is_ring_converged(ids, succ):
+                    if streaming:
+                        collector.store.note_ring(time.time(), 0, ns.procs)
                     result.converged = True
                     break
-                if ns.verbose:
+                if ns.verbose or streaming:
                     ring = sorted(ids, key=lambda a: ids[a])
                     true_succ = {
                         a: ring[(i + 1) % len(ring)]
@@ -311,8 +344,11 @@ async def run_cluster(ns) -> ClusterResult:
                     wrong = sum(
                         1 for a in ring if succ.get(a) != true_succ[a]
                     )
-                    log.info("converge poll %d: %d/%d successors wrong",
-                             req, wrong, ns.procs)
+                    if streaming:
+                        collector.store.note_ring(time.time(), wrong, ns.procs)
+                    if ns.verbose:
+                        log.info("converge poll %d: %d/%d successors wrong",
+                                 req, wrong, ns.procs)
             elif ns.verbose:
                 log.info("converge poll %d: %d/%d topo reports",
                          req, len(reports), ns.procs)
@@ -335,6 +371,7 @@ async def run_cluster(ns) -> ClusterResult:
                 sub_index.setdefault(t, []).append(a)
         candidates = sorted(t for t, s in sub_index.items() if s)
         events: List[_EventPlan] = []
+        expected_cum = 0
         if candidates:
             drawn = sample_topics(rates, ns.events, rng, restrict=candidates)
             for k, topic in enumerate(drawn):
@@ -348,6 +385,9 @@ async def run_cluster(ns) -> ClusterResult:
                     "trace": f"e{k}", "expected": len(expected),
                 })
                 events.append(_EventPlan(k, topic, pub, f"e{k}", expected, sent))
+                if streaming and sent:
+                    expected_cum += len(expected)
+                    collector.store.note_expected(time.time(), expected_cum)
                 await asyncio.sleep(ns.event_gap)
 
         # --- settle, then shut the cluster down -------------------------
@@ -378,6 +418,19 @@ async def run_cluster(ns) -> ClusterResult:
                 proc.kill()
         await seed.close()
         await collector.close()
+        if endpoint is not None:
+            await endpoint.close()
+
+    # --- persist the live series store ----------------------------------
+    store = collector.store
+    result.metrics_frames = sum(s.frames for s in store.nodes.values())
+    result.dropped_frames = store.dropped_frames
+    result.swim_transitions = len(store.swim_events)
+    series_out = getattr(ns, "series_out", None)
+    if series_out:
+        with open(series_out, "w", encoding="utf-8") as fh:
+            json.dump(store.to_doc(), fh)
+        result.series_path = series_out
 
     # --- audit the merged trace -----------------------------------------
     delivered: Dict[str, Set[int]] = {}

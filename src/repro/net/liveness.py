@@ -78,6 +78,11 @@ class LiveSwimDetector:
         Shared :class:`DetectorConfig` knobs.
     on_confirm:
         Called with a confirmed-dead address — the healing hook.
+    on_transition:
+        Called with ``(peer, prev_state, new_state)`` on every verdict
+        state change (alive→suspect, suspect→alive, suspect→dead,
+        dead→alive on resurrection/rejoin) — the observability hook the
+        live health timeline is built from.
     """
 
     name = "swim-live"
@@ -93,6 +98,7 @@ class LiveSwimDetector:
         config: Optional[DetectorConfig] = None,
         on_confirm: Optional[Callable[[int], None]] = None,
         population: Optional[Callable[[], int]] = None,
+        on_transition: Optional[Callable[[int, str, str], None]] = None,
     ) -> None:
         self.address = address
         self.transport = transport
@@ -102,6 +108,7 @@ class LiveSwimDetector:
         self.candidates = candidates
         self.config = config if config is not None else DetectorConfig()
         self.on_confirm = on_confirm
+        self.on_transition = on_transition
         self.population = population if population is not None else (lambda: 2)
         #: This node's own incarnation number (bumped per refutation).
         self.incarnation = 0
@@ -133,6 +140,21 @@ class LiveSwimDetector:
 
     def suspected(self, address: int) -> bool:
         return self.state_of(address) == STATE_SUSPECT
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """Current number of suspected and confirmed-dead peers — the
+        gauge pair the streamed metrics frames carry."""
+        suspect = dead = 0
+        for v in self._verdicts.values():
+            if v.state == STATE_SUSPECT:
+                suspect += 1
+            elif v.state == STATE_DEAD:
+                dead += 1
+        return {"suspect": suspect, "dead": dead}
+
+    def _note(self, peer: int, prev: str, new: str) -> None:
+        if self.on_transition is not None and prev != new:
+            self.on_transition(peer, prev, new)
 
     def summary(self) -> Dict[str, int]:
         return {
@@ -212,8 +234,10 @@ class LiveSwimDetector:
 
     def _suspect(self, target: int, now: float) -> None:
         v = self._verdict(target)
+        prev = v.state
         if v.suspect(self.address, self._suspicion_deadline(now)):
             self.suspicions += 1
+            self._note(target, prev, v.state)
             log.debug("node %d suspects %d", self.address, target)
         # Gossip the obituary: to the subject (its chance to refute) and
         # to a few neighbors, fresh or not — re-suspicions re-gossip so a
@@ -228,9 +252,11 @@ class LiveSwimDetector:
     def _confirm_round(self, now: float) -> None:
         for t in sorted(self._verdicts):
             v = self._verdicts[t]
+            prev = v.state
             if not v.confirm(now):
                 continue
             self.confirmations += 1
+            self._note(t, prev, v.state)
             self._direct.pop(t, None)
             self._indirect.pop(t, None)
             log.info("node %d confirms %d dead", self.address, t)
@@ -263,8 +289,11 @@ class LiveSwimDetector:
             return True
         if isinstance(msg, Refutation):
             v = self._verdicts.get(msg.target)
-            if v is not None and v.refute(msg.incarnation):
-                self.refutations += 1
+            if v is not None:
+                prev = v.state
+                if v.refute(msg.incarnation):
+                    self.refutations += 1
+                    self._note(msg.target, prev, v.state)
             return True
         return False
 
@@ -274,7 +303,9 @@ class LiveSwimDetector:
         self._indirect.pop(target, None)
         v = self._verdicts.get(target)
         if v is not None and v.state != STATE_DEAD:
-            v.mark_alive()
+            prev = v.state
+            if v.mark_alive():
+                self._note(target, prev, v.state)
             v.incarnation = max(v.incarnation, msg.incarnation)
         waiting = self._proxying.pop(target, None)
         if waiting:
@@ -296,7 +327,9 @@ class LiveSwimDetector:
             return
         v = self._verdict(msg.target)
         if msg.incarnation >= v.incarnation:
-            v.suspect(msg.src, self._suspicion_deadline(self.clock()))
+            prev = v.state
+            if v.suspect(msg.src, self._suspicion_deadline(self.clock())):
+                self._note(msg.target, prev, v.state)
 
     # ------------------------------------------------------------------
     # Passive evidence
@@ -315,10 +348,12 @@ class LiveSwimDetector:
             if v.state == STATE_DEAD:
                 del self._verdicts[address]
                 self.rejoins += 1
+                self._note(address, STATE_DEAD, STATE_ALIVE)
                 log.info("node %d resurrects %d (heard from confirmed-dead)",
                          self.address, address)
             elif v.state == STATE_SUSPECT:
-                v.mark_alive()
+                if v.mark_alive():
+                    self._note(address, STATE_SUSPECT, STATE_ALIVE)
         self._direct.pop(address, None)
         self._indirect.pop(address, None)
 
@@ -333,3 +368,4 @@ class LiveSwimDetector:
         v = self._verdicts.pop(address, None)
         if v is not None:
             self.rejoins += 1
+            self._note(address, v.state, STATE_ALIVE)

@@ -58,6 +58,7 @@ from repro.net.bootstrap import SeedClient
 from repro.net.liveness import LiveSwimDetector
 from repro.net.timers import AsyncPeriodicTask, jittered_period
 from repro.net.transport import UdpTransport
+from repro.net.wire import encode_metrics_frame
 from repro.obs.spans import (
     CAUSE_FAULTED_LINK,
     HOP_DELIVER,
@@ -67,6 +68,7 @@ from repro.obs.spans import (
     HOP_RELAY,
     HOP_RENDEZVOUS,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import TraceWriter
 from repro.sim.messages import Notification
@@ -270,6 +272,12 @@ class LiveNodeHost:
         self.published = 0
         self.delivered = 0
         self._span_seq = 0
+        #: Host-local instruments (delivery-hop histogram); absolute
+        #: transport/detector counters are sampled in current_metrics().
+        self._local = MetricsRegistry()
+        self._metrics_task: Optional[AsyncPeriodicTask] = None
+        self._metrics_cursor: Optional[Dict] = None
+        self._metrics_seq = 0
 
         self.transport.on_message = self._on_message
         self.transport.on_give_up = self._on_give_up
@@ -448,6 +456,7 @@ class LiveNodeHost:
                 )
         if subscribed and self.address != msg.publisher:
             self.delivered += 1
+            self._local.histogram("live_delivery_hops").observe(msg.hops)
         if msg.hops < self.MAX_HOPS:
             self._forward(
                 msg.topic, msg.event_id, msg.publisher, hops=msg.hops + 1,
@@ -510,13 +519,20 @@ class LiveNodeHost:
             self.transport.send(msg)
 
     # ------------------------------------------------------------------
-    # Final accounting
+    # Metrics: current absolute values, streaming, final accounting
     # ------------------------------------------------------------------
-    def snapshot_metrics(self) -> None:
-        """Fold transport/detector/protocol counters into the telemetry
-        registry so the collector's merged metrics line up with the
-        simulator's traffic report columns."""
-        m = self.telemetry.metrics
+    def current_metrics(self) -> MetricsRegistry:
+        """This instant's absolute metric values, as a fresh registry.
+
+        Built from scratch on every call (transport/detector counters are
+        plain attributes, not registry instruments), so the streaming tick
+        and the final snapshot read the *same* code path — the sum of
+        streamed deltas and the shutdown ``metrics_snapshot`` cannot
+        disagree, and nothing is ever double-counted into
+        ``telemetry.metrics``.
+        """
+        m = MetricsRegistry()
+        m.merge(self._local.snapshot())
         t = self.transport
         m.counter("live_sent_total").inc(sum(t.sent.values()))
         m.counter("live_delivered_total").inc(sum(t.delivered.values()))
@@ -530,9 +546,81 @@ class LiveNodeHost:
         m.counter("live_published").inc(self.published)
         m.counter("live_delivered_events").inc(self.delivered)
         m.counter("backpressure_deferred").inc(self.system.backpressure_deferred)
+        m.gauge("live_queue_depth").set(t.pending_count)
+        m.gauge("live_members").set(len(self.system.members))
         if self.detector is not None:
             for name, value in self.detector.summary().items():
                 m.counter(name).inc(value)
+            counts = self.detector.verdict_counts()
+            m.gauge("swim_suspect_peers").set(counts["suspect"])
+            m.gauge("swim_dead_peers").set(counts["dead"])
+        return m
+
+    def start_metrics_stream(self, interval: float, rng) -> None:
+        """Publish a ``metrics_delta`` frame every ``interval`` seconds
+        (phase-jittered like every other live timer) over the already-open
+        collector stream."""
+        if self._metrics_task is not None:
+            self._metrics_task.stop()
+        period = jittered_period(interval, rng)
+        self._metrics_task = AsyncPeriodicTask(
+            period, self.emit_metrics_frame, first_delay=interval * rng.random()
+        )
+
+    def stop_metrics_stream(self) -> None:
+        """Stop the periodic task and emit one last frame so the stored
+        series ends on the node's final totals."""
+        if self._metrics_task is None:
+            return
+        self._metrics_task.stop()
+        self._metrics_task = None
+        self.emit_metrics_frame()
+
+    def emit_metrics_frame(self) -> bool:
+        """One streaming tick: diff current metrics against the cursor and
+        ship the changed slice (skipped entirely when nothing changed).
+        Returns True when a frame was written."""
+        delta, self._metrics_cursor = self.current_metrics().delta_since(
+            self._metrics_cursor
+        )
+        if delta is None:
+            return False
+        writer = self.telemetry.trace
+        if writer is None:
+            return False
+        writer.write_record(
+            encode_metrics_frame(
+                self.address, self._metrics_seq, self.system.engine.now,
+                time.time(), delta,
+            )
+        )
+        self._metrics_seq += 1
+        # Frames are only useful fresh — push them out now rather than
+        # waiting for the trace buffer to fill.
+        writer.flush()
+        return True
+
+    def on_swim_transition(self, peer: int, prev: str, state: str) -> None:
+        """Detector verdict-transition hook: emit one ``swim`` trace record.
+
+        Emitted whenever tracing is on — with or without metrics streaming
+        — so the merged trace is identical in both modes; the collector
+        tees these records into the live timeline.  ``ts`` carries epoch
+        wall time because per-process ``t`` origins are not comparable
+        across nodes.
+        """
+        tel = self.telemetry
+        if tel.tracing:
+            tel.event(
+                "swim", t=self.system.engine.now, ts=round(time.time(), 6),
+                peer=peer, prev=prev, state=state,
+            )
+
+    def snapshot_metrics(self) -> None:
+        """Fold the final absolute values into the telemetry registry so
+        the collector's merged metrics line up with the simulator's
+        traffic report columns."""
+        self.telemetry.metrics.merge(self.current_metrics().snapshot())
 
 
 # ----------------------------------------------------------------------
@@ -577,6 +665,7 @@ async def run_node(ns) -> int:
         config=DetectorConfig(),
         on_confirm=host.evict_confirmed,
         population=lambda: len(system.members),
+        on_transition=host.on_swim_transition,
     )
     host.attach_detector(detector)
 
@@ -593,6 +682,8 @@ async def run_node(ns) -> int:
         detector.tick,
         first_delay=jittered_period(config.gossip_period, net_rng),
     )
+    if getattr(ns, "metrics_interval", 0.0) > 0:
+        host.start_metrics_stream(ns.metrics_interval, net_rng)
 
     # Run until the driver's shutdown command — or until the seed
     # connection drops (a dead driver must not leave orphans behind).
@@ -608,6 +699,7 @@ async def run_node(ns) -> int:
     node.undeploy()
     detector_task.stop()
     await transport.drain(timeout=2.0)
+    host.stop_metrics_stream()
     host.snapshot_metrics()
     writer.write_record({
         "ev": "metrics_snapshot",

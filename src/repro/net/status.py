@@ -1,0 +1,96 @@
+"""The ``python -m repro live status`` console.
+
+A synchronous, dependency-free client of the cluster's metrics endpoint:
+polls ``/status.json`` (served by :mod:`repro.net.exporter` while the
+cluster runs), renders one top-style table — per-node queue depth,
+retransmit/give-up rates, SWIM verdict — plus a cluster summary line
+with the hit ratio so far, and refreshes in place until interrupted.
+``--once`` prints a single table and exits (the CI smoke test's mode).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["fetch_status", "render_status", "run_status"]
+
+#: ANSI: clear screen + cursor home (the refresh-in-place mechanism).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_status(host: str, port: int, timeout: float = 5.0) -> Dict:
+    """GET and decode ``/status.json`` (raises OSError/ValueError on
+    connection or decode failure — callers turn that into one line)."""
+    url = f"http://{host}:{port}/status.json"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    return f"{rate:.2f}/s" if rate is not None else "-"
+
+
+def render_status(doc: Dict) -> str:
+    """One refresh frame: the per-node table plus the cluster roll-up."""
+    rows: List[Dict] = []
+    for n in doc.get("nodes", []):
+        rows.append({
+            "node": n["proc"],
+            "queue": int(n["queue"]),
+            "sent": int(n["sent"]),
+            "retx": int(n["retransmits"]),
+            "retx_rate": _fmt_rate(n.get("retransmit_rate")),
+            "gave_up": int(n["gave_up"]),
+            "giveup_rate": _fmt_rate(n.get("give_up_rate")),
+            "delivered": int(n["delivered"]),
+            "suspect": int(n["suspect_peers"]),
+            "dead": int(n["dead_peers"]),
+            "verdict": n["verdict"],
+            "age_s": f"{n['age_s']:.1f}",
+        })
+    cluster = doc.get("cluster", {})
+    hit = cluster.get("hit_ratio")
+    lines = [
+        format_table(rows, title="live nodes") if rows
+        else "live nodes: (no metrics frames received yet)",
+        "cluster: "
+        f"reporting={cluster.get('reporting', 0)} "
+        f"delivered={int(cluster.get('delivered', 0))}"
+        f"/{cluster.get('expected_deliveries', 0)} expected "
+        f"(hit so far {f'{hit:.3f}' if hit is not None else 'n/a'}) "
+        f"ring_wrong={cluster.get('ring_wrong', 'n/a')} "
+        f"swim_transitions={cluster.get('swim_transitions', 0)} "
+        f"dropped_frames={cluster.get('dropped_frames', 0)}",
+    ]
+    return "\n\n".join(lines)
+
+
+def run_status(ns) -> int:
+    """CLI entry: poll-and-render until interrupt (or once)."""
+    while True:
+        try:
+            doc = fetch_status(ns.host, ns.port)
+        except (OSError, ValueError) as exc:
+            print(
+                f"live status: cannot fetch http://{ns.host}:{ns.port}"
+                f"/status.json: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        text = render_status(doc)
+        if ns.once:
+            print(text)
+            return 0
+        sys.stdout.write(_CLEAR + text + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(ns.interval)
+        except KeyboardInterrupt:
+            return 0

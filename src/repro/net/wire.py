@@ -44,6 +44,10 @@ __all__ = [
     "decode",
     "encode_ack",
     "MESSAGE_KINDS",
+    "METRICS_FRAME_KIND",
+    "METRICS_FRAME_VERSION",
+    "encode_metrics_frame",
+    "decode_metrics_frame",
 ]
 
 WIRE_VERSION = 1
@@ -193,3 +197,66 @@ def decode(datagram: bytes) -> Tuple[Optional[Message], Dict[str, Any]]:
     if span is not None:
         msg.span = tuple(span)
     return msg, envelope
+
+
+# ----------------------------------------------------------------------
+# Metrics snapshot frames (node -> collector, over the obs TCP stream)
+# ----------------------------------------------------------------------
+#: ``ev`` value of a streamed metrics-delta record on the collector stream.
+METRICS_FRAME_KIND = "metrics_delta"
+
+#: Frame format version — a collector drops frames whose version it does
+#: not speak (never crashes on them), mirroring ``WIRE_VERSION`` gating.
+METRICS_FRAME_VERSION = 1
+
+
+def encode_metrics_frame(
+    proc: int, seq: int, t: float, ts: float, delta: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Build one metrics-delta frame record for the collector stream.
+
+    ``t`` is the node's local monotonic clock (since process start) and
+    ``ts`` the epoch wall time — the collector aligns nodes on ``ts``
+    because per-process ``t`` origins differ.  ``delta`` is the changed
+    slice from :meth:`repro.obs.registry.MetricsRegistry.delta_since`.
+    The frame rides the same JSONL stream as trace records (one JSON
+    object per line) so no second connection is needed.
+    """
+    return {
+        "ev": METRICS_FRAME_KIND,
+        "mv": METRICS_FRAME_VERSION,
+        "proc": proc,
+        "n": seq,
+        "t": t,
+        "ts": ts,
+        "delta": delta,
+    }
+
+
+def decode_metrics_frame(record: Dict[str, Any]) -> Tuple[int, int, float, float, Dict]:
+    """Validate a metrics-delta record; returns ``(proc, seq, t, ts, delta)``.
+
+    Raises :class:`WireError` on a wrong-version or malformed frame so the
+    collector can count-and-drop it without poisoning its store.
+    """
+    if not isinstance(record, dict) or record.get("ev") != METRICS_FRAME_KIND:
+        raise WireError(f"not a metrics frame: {record!r:.80}")
+    if record.get("mv") != METRICS_FRAME_VERSION:
+        raise WireError(f"unsupported metrics frame version: {record.get('mv')!r}")
+    proc = record.get("proc")
+    seq = record.get("n")
+    t = record.get("t")
+    ts = record.get("ts")
+    delta = record.get("delta")
+    if (
+        not isinstance(proc, int) or isinstance(proc, bool)
+        or not isinstance(seq, int)
+        or not isinstance(t, (int, float))
+        or not isinstance(ts, (int, float))
+        or not isinstance(delta, dict)
+    ):
+        raise WireError(f"malformed metrics frame: {record!r:.80}")
+    for section in delta:
+        if section not in ("counters", "gauges", "histograms"):
+            raise WireError(f"unknown delta section: {section!r}")
+    return proc, seq, float(t), float(ts), delta

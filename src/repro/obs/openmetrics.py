@@ -1,0 +1,255 @@
+"""OpenMetrics exposition-format rendering (and a grammar validator).
+
+Renders the per-node registries the live collector accumulates into the
+text format a real Prometheus scrapes (OpenMetrics 1.0): one ``# TYPE``
+line per metric family, samples with a ``node="<addr>"`` label, counter
+samples carrying the mandatory ``_total`` suffix, histograms exposed as
+cumulative ``_bucket{le=...}`` series plus ``_count``/``_sum``, and the
+``# EOF`` terminator.
+
+:func:`validate_exposition` is the test/CI-side counterpart: it walks an
+exposition document against the format grammar (sample syntax, family
+typing, counter suffix rule, bucket monotonicity, ``+Inf`` presence,
+``# EOF`` placement) and raises :class:`ValueError` on the first
+violation — so a scrape captured mid-run can be asserted well-formed
+without a Prometheus binary in the loop.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CONTENT_TYPE", "render_openmetrics", "validate_exposition"]
+
+#: The scrape response content type OpenMetrics consumers negotiate.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>[0-9][0-9.eE+-]*))?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$')
+
+
+def _sanitize(name: str) -> str:
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _NAME_RE.match(out):
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(v: float) -> str:
+    if v != v or v in (float("inf"), float("-inf")):  # NaN / infinities
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(v, "NaN")
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(f'{_sanitize(k)}="{_escape_label(str(v))}"' for k, v in pairs)
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def render_openmetrics(snapshots: Dict[int, Dict]) -> str:
+    """Render ``{node_addr: MetricsRegistry.snapshot()}`` to exposition text.
+
+    Families are merged across nodes (same family, different ``node``
+    label); within a family, samples are ordered by node then label set,
+    so consecutive scrapes of unchanged state are byte-identical.
+    """
+    counters: Dict[str, List[str]] = {}
+    gauges: Dict[str, List[str]] = {}
+    histograms: Dict[str, List[str]] = {}
+
+    for node in sorted(snapshots):
+        snap = snapshots[node]
+        for name, key, value in snap.get("counters", ()):
+            fam = _sanitize(name)
+            if fam.endswith("_total"):
+                fam = fam[: -len("_total")]
+            labels = _labels([("node", node)] + list(key))
+            counters.setdefault(fam, []).append(f"{fam}_total{labels} {_fmt(value)}")
+        for name, key, value in snap.get("gauges", ()):
+            fam = _sanitize(name)
+            labels = _labels([("node", node)] + list(key))
+            gauges.setdefault(fam, []).append(f"{fam}{labels} {_fmt(value)}")
+        for name, key, data in snap.get("histograms", ()):
+            fam = _sanitize(name)
+            lines = histograms.setdefault(fam, [])
+            base = [("node", node)] + list(key)
+            running = 0
+            for bound, count in zip(data["buckets"], data["bucket_counts"]):
+                running += count
+                labels = _labels(base + [("le", _fmt(float(bound)))])
+                lines.append(f"{fam}_bucket{labels} {running}")
+            labels = _labels(base + [("le", "+Inf")])
+            lines.append(f"{fam}_bucket{labels} {data['count']}")
+            plain = _labels(base)
+            lines.append(f"{fam}_count{plain} {data['count']}")
+            lines.append(f"{fam}_sum{plain} {_fmt(data['sum'])}")
+
+    out: List[str] = []
+    for fam in sorted(counters):
+        out.append(f"# TYPE {fam} counter")
+        out.extend(counters[fam])
+    for fam in sorted(gauges):
+        out.append(f"# TYPE {fam} gauge")
+        out.extend(gauges[fam])
+    for fam in sorted(histograms):
+        out.append(f"# TYPE {fam} histogram")
+        out.extend(histograms[fam])
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"unparseable sample value {raw!r}") from exc
+
+
+def validate_exposition(text: str) -> int:
+    """Check ``text`` against the OpenMetrics grammar; returns the number
+    of samples seen.  Raises :class:`ValueError` (with the offending line
+    number) on the first violation.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must terminate with '# EOF'")
+
+    types: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    hist_counts: Dict[str, float] = {}
+    samples = 0
+
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                raise ValueError(f"line {lineno}: content after '# EOF'")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                fam, mtype = parts[2], parts[3] if len(parts) > 3 else ""
+                if not _NAME_RE.match(fam):
+                    raise ValueError(f"line {lineno}: bad family name {fam!r}")
+                if mtype not in (
+                    "counter", "gauge", "histogram", "summary", "info",
+                    "stateset", "gaugehistogram", "unknown",
+                ):
+                    raise ValueError(f"line {lineno}: unknown type {mtype!r}")
+                if fam in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {fam!r}")
+                types[fam] = mtype
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        name, raw_labels = m.group("name"), m.group("labels")
+        label_map: Dict[str, str] = {}
+        if raw_labels:
+            for pair in _split_labels(raw_labels, lineno):
+                if not _LABEL_RE.match(pair):
+                    raise ValueError(f"line {lineno}: malformed label {pair!r}")
+                k, v = pair.split("=", 1)
+                if k in label_map:
+                    raise ValueError(f"line {lineno}: duplicate label {k!r}")
+                label_map[k] = v[1:-1]
+        value = _parse_value(m.group("value"))
+        fam, suffix = _family_of(name, types)
+        if fam is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE")
+        mtype = types[fam]
+        if mtype == "counter" and suffix not in ("_total", "_created"):
+            raise ValueError(
+                f"line {lineno}: counter sample {name!r} must use _total"
+            )
+        if mtype == "histogram":
+            series = _series_key(fam, label_map)
+            if suffix == "_bucket":
+                if "le" not in label_map:
+                    raise ValueError(f"line {lineno}: _bucket without le label")
+                le = _parse_value(label_map["le"])
+                prior = buckets.setdefault(series, [])
+                if prior and (le <= prior[-1][0] or value < prior[-1][1]):
+                    raise ValueError(
+                        f"line {lineno}: non-monotonic buckets for {fam!r}"
+                    )
+                prior.append((le, value))
+            elif suffix == "_count":
+                hist_counts[series] = value
+        samples += 1
+
+    for series, pairs in buckets.items():
+        if pairs[-1][0] != float("inf"):
+            raise ValueError(f"histogram series {series!r} missing +Inf bucket")
+        count = hist_counts.get(series)
+        if count is not None and count != pairs[-1][1]:
+            raise ValueError(
+                f"histogram series {series!r}: _count {count} != +Inf {pairs[-1][1]}"
+            )
+    return samples
+
+
+def _series_key(fam: str, label_map: Dict[str, str]) -> str:
+    """Identify one histogram series: family + labels minus ``le``."""
+    pairs = sorted((k, v) for k, v in label_map.items() if k != "le")
+    return fam + "|" + ",".join(f"{k}={v}" for k, v in pairs)
+
+
+def _split_labels(raw: str, lineno: int) -> List[str]:
+    """Split a label body on commas outside quoted values."""
+    out, buf, in_quotes, escaped = [], [], False, False
+    for ch in raw:
+        if escaped:
+            buf.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            buf.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            buf.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            out.append("".join(buf))
+            buf = []
+            continue
+        buf.append(ch)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if buf:
+        out.append("".join(buf))
+    return out
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Tuple[Optional[str], str]:
+    """Resolve a sample name to its declared family + suffix."""
+    for suffix in ("_bucket", "_count", "_sum", "_total", "_created"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)], suffix
+    if name in types:
+        return name, ""
+    return None, ""

@@ -10,9 +10,18 @@ contains its children's).
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["PhaseTimer"]
+from repro.obs.registry import Histogram
+
+__all__ = ["PhaseTimer", "DURATION_BUCKETS"]
+
+#: Second-scale bucket bounds for per-call phase durations — spans
+#: microsecond-ish gossip steps up to multi-minute converge phases.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1, 2.5, 5, 10, 25, 50, 100, 250,
+)
 
 
 class _PhaseContext:
@@ -43,6 +52,7 @@ class PhaseTimer:
         self._stack: List[str] = []
         self._totals: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
+        self._durations: Dict[str, Histogram] = {}
         #: Called with (path, elapsed_seconds) on every phase exit — the
         #: Telemetry facade hooks this to emit ``phase`` trace events.
         self.on_exit: Optional[Callable[[str, float], None]] = None
@@ -56,6 +66,10 @@ class PhaseTimer:
     def _record(self, path: str, elapsed: float) -> None:
         self._totals[path] = self._totals.get(path, 0.0) + elapsed
         self._calls[path] = self._calls.get(path, 0) + 1
+        h = self._durations.get(path)
+        if h is None:
+            h = self._durations[path] = Histogram(DURATION_BUCKETS)
+        h.observe(elapsed)
         if self.on_exit is not None:
             self.on_exit(path, elapsed)
 
@@ -68,7 +82,21 @@ class PhaseTimer:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict:
         """Picklable dump of the accumulated totals and call counts."""
-        return {"totals": dict(self._totals), "calls": dict(self._calls)}
+        return {
+            "totals": dict(self._totals),
+            "calls": dict(self._calls),
+            "durations": {
+                path: {
+                    "buckets": list(h.buckets),
+                    "bucket_counts": list(h.bucket_counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for path, h in self._durations.items()
+            },
+        }
 
     def merge(self, snapshot: Dict, prefix: str = "") -> None:
         """Fold a :meth:`snapshot` into this timer.
@@ -80,10 +108,26 @@ class PhaseTimer:
         """
         totals = snapshot.get("totals", {})
         calls = snapshot.get("calls", {})
+        durations = snapshot.get("durations", {})  # absent in pre-PR-10 dumps
         for path, elapsed in totals.items():
             full = f"{prefix}/{path}" if prefix else path
             self._totals[full] = self._totals.get(full, 0.0) + elapsed
             self._calls[full] = self._calls.get(full, 0) + calls.get(path, 1)
+        for path, data in durations.items():
+            full = f"{prefix}/{path}" if prefix else path
+            h = self._durations.get(full)
+            if h is None:
+                h = self._durations[full] = Histogram(data["buckets"])
+            for i, c in enumerate(data["bucket_counts"]):
+                h.bucket_counts[i] += c
+            h.count += data["count"]
+            h.sum += data["sum"]
+            for attr, pick in (("min", min), ("max", max)):
+                incoming = data[attr]
+                if incoming is None:
+                    continue
+                current = getattr(h, attr)
+                setattr(h, attr, incoming if current is None else pick(current, incoming))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -117,7 +161,12 @@ class PhaseTimer:
         return rows
 
     def to_dict(self) -> Dict:
-        return {
-            path: {"calls": self._calls[path], "total_s": self._totals[path]}
-            for path in sorted(self._totals)
-        }
+        out: Dict = {}
+        for path in sorted(self._totals):
+            entry: Dict = {"calls": self._calls[path], "total_s": self._totals[path]}
+            h = self._durations.get(path)
+            if h is not None and h.count:
+                entry["p50_s"] = h.quantile(0.5)
+                entry["p99_s"] = h.quantile(0.99)
+            out[path] = entry
+        return out

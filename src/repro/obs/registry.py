@@ -8,7 +8,10 @@ for labelled series (`registry.counter("lookups", system="vitis")`).
 
 Everything is plain Python state — no background threads, no exporters.
 :meth:`MetricsRegistry.to_dict` serialises the whole registry into the
-JSON shape the CLI writes for ``--metrics-out``.
+JSON shape the CLI writes for ``--metrics-out``; for streaming consumers
+:meth:`MetricsRegistry.delta_since` emits only what changed since a
+cursor, in increments that :meth:`MetricsRegistry.merge` folds back into
+the full picture (the live cluster's metric frames ride on this).
 """
 
 from __future__ import annotations
@@ -100,6 +103,39 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Classic Prometheus-style estimation: find the bucket the target
+        rank falls in and interpolate linearly inside it, clamping to the
+        observed ``min``/``max`` so estimates never leave the data range.
+        Returns ``None`` when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = self.min if self.min is not None else 0.0
+        for i, c in enumerate(self.bucket_counts):
+            if not c:
+                continue
+            upper = self.buckets[i] if i < len(self.buckets) else self.max
+            if upper is None:  # +Inf bucket with no recorded max (unreachable)
+                upper = lower
+            if cumulative + c >= target:
+                frac = (target - cumulative) / c
+                est = lower + (upper - lower) * max(0.0, min(1.0, frac))
+                if self.min is not None:
+                    est = max(est, self.min)
+                if self.max is not None:
+                    est = min(est, self.max)
+                return est
+            cumulative += c
+            lower = upper
+        return self.max
+
     def to_dict(self) -> Dict:
         cumulative = []
         running = 0
@@ -112,6 +148,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean(),
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
             "buckets": {str(b): c for b, c in zip(self.buckets, cumulative)},
         }
 
@@ -211,6 +250,79 @@ class MetricsRegistry:
                 current = getattr(h, attr)
                 pick = min if attr == "min" else max
                 setattr(h, attr, incoming if current is None else pick(current, incoming))
+
+    def delta_since(self, cursor: Optional[Dict]) -> Tuple[Optional[Dict], Dict]:
+        """Incremental snapshot: what changed since ``cursor``.
+
+        Returns ``(delta, new_cursor)``.  ``delta`` has the same shape as
+        :meth:`snapshot` but lists only instruments that changed, with
+        counters and histogram counts carrying *increments* (gauges carry
+        their current value; histogram min/max stay cumulative, which is
+        merge-safe because :meth:`merge` folds them with min/max).  Merging
+        every delta of a session, in order, into an empty registry yields
+        the same state as one final :meth:`snapshot` — that equivalence is
+        what lets the live collector rebuild per-node totals from frames.
+
+        ``cursor`` is opaque: pass ``None`` on the first call, then the
+        returned ``new_cursor`` on each subsequent one.  When nothing
+        changed, ``delta`` is ``None``.
+        """
+        prev_c = cursor.get("counters", {}) if cursor else {}
+        prev_g = cursor.get("gauges", {}) if cursor else {}
+        prev_h = cursor.get("histograms", {}) if cursor else {}
+
+        counters = []
+        new_c: Dict[Tuple[str, LabelKey], float] = {}
+        for (n, k), c in sorted(self._counters.items()):
+            new_c[(n, k)] = c.value
+            inc = c.value - prev_c.get((n, k), 0.0)
+            if inc:
+                counters.append([n, list(k), inc])
+
+        gauges = []
+        new_g: Dict[Tuple[str, LabelKey], float] = {}
+        for (n, k), g in sorted(self._gauges.items()):
+            new_g[(n, k)] = g.value
+            if (n, k) not in prev_g or prev_g[(n, k)] != g.value:
+                gauges.append([n, list(k), g.value])
+
+        histograms = []
+        new_h: Dict[Tuple[str, LabelKey], Tuple[int, Tuple[int, ...]]] = {}
+        for (n, k), h in sorted(self._histograms.items()):
+            new_h[(n, k)] = (h.count, tuple(h.bucket_counts), h.sum)
+            old_count, old_buckets, old_sum = prev_h.get(
+                (n, k), (0, (0,) * len(h.bucket_counts), 0.0)
+            )
+            if h.count == old_count:
+                continue
+            histograms.append(
+                [
+                    n,
+                    list(k),
+                    {
+                        "buckets": list(h.buckets),
+                        "bucket_counts": [
+                            c - o for c, o in zip(h.bucket_counts, old_buckets)
+                        ],
+                        "count": h.count - old_count,
+                        "sum": h.sum - old_sum,
+                        "min": h.min,
+                        "max": h.max,
+                    },
+                ]
+            )
+
+        new_cursor = {"counters": new_c, "gauges": new_g, "histograms": new_h}
+        if not (counters or gauges or histograms):
+            return None, new_cursor
+        delta = {}
+        if counters:
+            delta["counters"] = counters
+        if gauges:
+            delta["gauges"] = gauges
+        if histograms:
+            delta["histograms"] = histograms
+        return delta, new_cursor
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

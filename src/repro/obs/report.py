@@ -29,6 +29,7 @@ __all__ = [
     "bench_report",
     "bench_summary_rows",
     "bench_trajectory_rows",
+    "live_report",
     "metrics_rows",
     "phase_rows",
     "trace_summary_rows",
@@ -40,7 +41,7 @@ __all__ = [
 
 def metrics_rows(registry: MetricsRegistry) -> List[Dict]:
     """One row per instrument: counters and gauges verbatim, histograms as
-    count/mean/max."""
+    count/mean/p50/p99/max."""
     dump = registry.to_dict()
     rows: List[Dict] = []
     for name, value in dump["counters"].items():
@@ -54,6 +55,11 @@ def metrics_rows(registry: MetricsRegistry) -> List[Dict]:
             }
         )
         rows.append({"metric": f"{name}.mean", "type": "histogram", "value": h["mean"]})
+        for q in ("p50", "p99"):
+            if h.get(q) is not None:
+                rows.append(
+                    {"metric": f"{name}.{q}", "type": "histogram", "value": h[q]}
+                )
         if h["max"] is not None:
             rows.append({"metric": f"{name}.max", "type": "histogram", "value": h["max"]})
     return rows
@@ -140,6 +146,14 @@ def trace_report(
     sections: List[str] = []
 
     sections.append(format_table(trace_summary_rows(events), title="trace events"))
+
+    n_swim = sum(1 for e in events if e.get("ev") == "swim")
+    if n_swim:
+        sections.append(
+            f"swim: {n_swim} verdict transition(s) in this trace — run the "
+            f"cluster with --series-out and render the health timeline with "
+            f"`python -m repro live-report <series.json>`"
+        )
 
     lines = [
         f"span trees: {audit.n_events} event traces "
@@ -236,9 +250,18 @@ def bench_summary_rows(run: Dict) -> List[Dict]:
 
 
 def bench_phase_rows(run: Dict) -> List[Dict]:
-    """One bench run's per-phase wall-time breakdown (sorted by path)."""
+    """One bench run's per-phase wall-time breakdown (sorted by path).
+
+    ``p50_s``/``p99_s`` come from the per-call duration histograms
+    (absent in pre-PR-10 trajectory entries — rendered blank there)."""
     return [
-        {"phase": path, "calls": entry["calls"], "total_s": entry["total_s"]}
+        {
+            "phase": path,
+            "calls": entry["calls"],
+            "total_s": entry["total_s"],
+            "p50_s": entry.get("p50_s", ""),
+            "p99_s": entry.get("p99_s", ""),
+        }
         for path, entry in sorted(run.get("phases", {}).items())
     ]
 
@@ -358,6 +381,175 @@ def bench_report(doc: Dict) -> str:
         top = mem.get("top_allocators") or []
         if top:
             sections.append(format_table(top, title="top allocators (latest run)"))
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Live series store (repro.net.store) — the post-run health timeline
+# ----------------------------------------------------------------------
+def _interval_edges(t_max: float, n: int = 10) -> List[float]:
+    if t_max <= 0:
+        return [0.0]
+    step = t_max / n
+    return [step * (i + 1) for i in range(n)]
+
+
+def _sample_at(samples: List[Dict], t: float) -> Optional[Dict]:
+    """Latest sample at or before ``t`` (samples are time-ordered)."""
+    best = None
+    for s in samples:
+        if s["t"] <= t:
+            best = s
+        else:
+            break
+    return best
+
+
+def live_report(doc: Dict) -> str:
+    """The ``live-report`` health timeline for one persisted series store
+    (``live cluster --series-out``, schema ``repro.net.livestore/1``).
+
+    Sections: a per-node stream summary, the complete SWIM verdict
+    transition timeline (every transition — this is the artifact the
+    detector is debugged with), per-observer transition totals, the
+    cluster-wide counter evolution over time (retransmit/give-up/delivery
+    deltas plus in-interval mean delivery hops), the final delivery-hops
+    distribution, and ring-convergence progress.
+    """
+    if not isinstance(doc, dict) or doc.get("schema") != "repro.net.livestore/1":
+        raise ValueError(
+            "not a repro.net.livestore/1 document "
+            f"(schema={doc.get('schema') if isinstance(doc, dict) else None!r})"
+        )
+    nodes = doc.get("nodes", {})
+    swim = sorted(doc.get("swim", ()), key=lambda e: (e[0], e[1], e[2]))
+    ring = list(doc.get("ring", ()))
+    expected = list(doc.get("expected", ()))
+    sections: List[str] = []
+
+    # --- per-node stream summary -------------------------------------
+    node_rows: List[Dict] = []
+    t_max = 0.0
+    for proc_s in sorted(nodes, key=int):
+        data = nodes[proc_s]
+        samples = data.get("samples", [])
+        if samples:
+            t_max = max(t_max, samples[-1]["t"])
+        last = samples[-1] if samples else {"c": {}, "g": {}}
+        node_rows.append({
+            "node": proc_s,
+            "frames": data.get("frames", 0),
+            "sent": int(last["c"].get("live_sent_total", 0)),
+            "retransmits": int(last["c"].get("live_retransmits", 0)),
+            "gave_up": int(last["c"].get("live_gave_up", 0)),
+            "delivered": int(last["c"].get("live_delivered_events", 0)),
+            "suspect": int(last["g"].get("swim_suspect_peers", 0)),
+            "dead": int(last["g"].get("swim_dead_peers", 0)),
+        })
+    header = (
+        f"live series: {len(nodes)} node(s), "
+        f"{sum(r['frames'] for r in node_rows)} metrics frame(s), "
+        f"{doc.get('dropped_frames', 0)} dropped, "
+        f"{len(swim)} swim transition(s), span {t_max:.1f}s"
+    )
+    sections.append(header)
+    if node_rows:
+        sections.append(format_table(node_rows, title="per-node streams"))
+
+    # --- SWIM verdict timeline (complete, never truncated) -----------
+    if swim:
+        lines = ["swim verdict timeline:"]
+        for t, proc, peer, prev, state in swim:
+            lines.append(
+                f"  t={t:7.2f}s  node {proc:>4}: peer {peer:>4} "
+                f"{prev} -> {state}"
+            )
+        sections.append("\n".join(lines))
+        totals: Dict[Tuple[int, str], int] = {}
+        for _, proc, _, prev, state in swim:
+            totals[(proc, f"{prev}->{state}")] = (
+                totals.get((proc, f"{prev}->{state}"), 0) + 1
+            )
+        trans_rows = [
+            {"node": proc, "transition": kind, "count": n}
+            for (proc, kind), n in sorted(totals.items())
+        ]
+        sections.append(format_table(trans_rows, title="transitions per observer"))
+    else:
+        sections.append("swim verdict timeline: no transitions recorded")
+
+    # --- cluster counter evolution -----------------------------------
+    def cluster_at(t: float) -> Dict[str, float]:
+        agg: Dict[str, float] = {}
+        for data in nodes.values():
+            s = _sample_at(data.get("samples", []), t)
+            if s is None:
+                continue
+            for k, v in s["c"].items():
+                agg[k] = agg.get(k, 0.0) + v
+            for name, h in s.get("h", {}).items():
+                agg[f"{name}.count"] = agg.get(f"{name}.count", 0.0) + h["count"]
+                agg[f"{name}.sum"] = agg.get(f"{name}.sum", 0.0) + h["sum"]
+        return agg
+
+    if t_max > 0:
+        evo_rows: List[Dict] = []
+        prev_agg = cluster_at(0.0)
+        prev_t = 0.0
+        for t in _interval_edges(t_max):
+            agg = cluster_at(t)
+
+            def delta(key: str) -> float:
+                return agg.get(key, 0.0) - prev_agg.get(key, 0.0)
+
+            d_count = delta("live_delivery_hops.count")
+            d_sum = delta("live_delivery_hops.sum")
+            evo_rows.append({
+                "t_s": round(t, 1),
+                "retransmits": int(delta("live_retransmits")),
+                "retx_per_s": round(delta("live_retransmits") / (t - prev_t), 2)
+                if t > prev_t else 0.0,
+                "gave_up": int(delta("live_gave_up")),
+                "delivered": int(delta("live_delivered_events")),
+                "hops_mean": round(d_sum / d_count, 2) if d_count else "",
+            })
+            prev_agg, prev_t = agg, t
+        sections.append(
+            format_table(evo_rows, title="cluster evolution (per interval)")
+        )
+
+    # --- final delivery-hops distribution ----------------------------
+    merged = MetricsRegistry()
+    for proc_s in sorted(nodes, key=int):
+        merged.merge(nodes[proc_s].get("totals", {}))
+    hops = merged.to_dict().get("histograms", {}).get("live_delivery_hops")
+    if hops and hops["count"]:
+        sections.append(
+            "delivery hops (final distribution): "
+            f"count={hops['count']} mean={hops['mean']:.2f} "
+            f"p50={hops['p50']:.1f} p90={hops['p90']:.1f} "
+            f"p99={hops['p99']:.1f} max={hops['max']:.0f}"
+        )
+
+    # --- ring convergence progress -----------------------------------
+    if ring:
+        ring_rows = [
+            {"t_s": round(t, 1), "wrong_successors": wrong, "of": total}
+            for t, wrong, total in ring
+        ]
+        sections.append(format_table(ring_rows, title="ring convergence"))
+
+    # --- delivery progress vs expectation ----------------------------
+    if expected:
+        final = cluster_at(t_max) if t_max > 0 else {}
+        exp_total = expected[-1][1]
+        got = final.get("live_delivered_events", 0.0)
+        sections.append(
+            f"deliveries: {int(got)}/{exp_total} expected so far "
+            f"(hit {got / exp_total:.3f})" if exp_total else
+            "deliveries: nothing published yet"
+        )
+
     return "\n\n".join(sections)
 
 

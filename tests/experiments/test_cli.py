@@ -350,3 +350,71 @@ class TestBenchReport:
         bad.write_text(json.dumps({"schema": "wrong", "runs": []}))
         assert main(["bench-report", str(bad)]) == 2
         assert "invalid trajectory" in capsys.readouterr().err
+
+
+class TestEmptyTrace:
+    def test_empty_trace_file_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-report", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "empty" in err and err.count("\n") == 1  # one line, no stack
+
+    def test_whitespace_only_trace_is_an_error(self, tmp_path, capsys):
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n")
+        assert main(["trace-report", str(blank)]) == 2
+        assert "empty" in capsys.readouterr().err
+
+
+class TestLiveReport:
+    def series_doc(self):
+        from repro.net.store import MetricsStore
+
+        store = MetricsStore()
+        delta = {
+            "counters": [["live_sent_total", [], 5.0],
+                         ["live_retransmits", [], 1.0],
+                         ["live_delivered_events", [], 2.0]],
+            "gauges": [["live_queue_depth", [], 1.0]],
+            "histograms": [["live_delivery_hops", [], {
+                "buckets": [1, 2, 4], "bucket_counts": [1, 1, 0],
+                "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0}]],
+        }
+        store.ingest(7001, 0, 0.1, 100.0, delta)
+        store.ingest(7002, 0, 0.2, 100.4, delta)
+        store.note_swim(7001, 101.0, 7002, "alive", "suspect")
+        store.note_swim(7001, 102.5, 7002, "suspect", "alive")
+        store.note_ring(100.5, 2, 2)
+        store.note_ring(101.5, 0, 2)
+        store.note_expected(101.8, 4)
+        return store.to_doc()
+
+    def test_renders_timeline_sections(self, tmp_path, capsys):
+        series = tmp_path / "series.json"
+        series.write_text(json.dumps(self.series_doc()))
+        assert main(["live-report", str(series)]) == 0
+        out = capsys.readouterr().out
+        assert "swim verdict timeline" in out
+        assert "alive -> suspect" in out and "suspect -> alive" in out
+        assert "7001" in out and "7002" in out
+        assert "ring convergence" in out
+
+    def test_missing_file_is_one_line_error(self, tmp_path, capsys):
+        assert main(["live-report", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_invalid_json_is_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["live-report", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_wrong_schema_is_error(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": "other/1"}))
+        assert main(["live-report", str(wrong)]) == 2
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["live-report"])

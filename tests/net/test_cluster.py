@@ -52,11 +52,13 @@ def test_mini_cluster_end_to_end(tmp_path):
     and the same gates the CI live-smoke job enforces, at pytest scale.
     """
     trace_out = tmp_path / "mini_trace.jsonl"
+    series_out = tmp_path / "mini_series.json"
     ns = build_parser().parse_args([
         "cluster", "--procs", "6", "--events", "8",
         "--loss-rate", "0.05", "--gossip-period", "0.2",
         "--converge-timeout", "60", "--settle", "2.5",
         "--trace-out", str(trace_out),
+        "--metrics-interval", "0.5", "--series-out", str(series_out),
     ])
     ns.n_nodes = ns.procs
     result = asyncio.run(run_cluster(ns))
@@ -71,3 +73,29 @@ def test_mini_cluster_end_to_end(tmp_path):
     assert any(r.get("ev") == "span" and r.get("kind") == "publish"
                for r in records)
     assert all("proc" in r for r in records if r.get("ev") == "span")
+    # Streaming was on: every node's frames reached the store, yet the
+    # merged trace stays frame-free (snapshot streaming is trace-inert).
+    assert result.metrics_endpoint is not None
+    assert result.metrics_frames >= ns.procs
+    assert not any(r.get("ev") == "metrics_delta" for r in records)
+    from repro.net.store import MetricsStore
+
+    store = MetricsStore.from_doc(json.loads(series_out.read_text()))
+    assert len(store.nodes) == ns.procs
+    # Cumulative totals rebuilt from deltas are live traffic, not zeros.
+    sent = sum(reg.counter("live_sent_total").value
+               for reg in store.registries().values())
+    assert sent > 0
+    # Every SWIM transition in the merged trace is in the series too —
+    # the post-run timeline and the live view agree record for record.
+    traced = [(r["proc"], r["peer"], r["prev"], r["state"])
+              for r in records if r.get("ev") == "swim"]
+    stored = [(proc, peer, prev, state)
+              for _t, proc, peer, prev, state in store.swim_events]
+    assert sorted(traced) == sorted(stored)
+    # The persisted series renders as a live-report health timeline.
+    from repro.obs.report import live_report
+
+    text = live_report(json.loads(series_out.read_text()))
+    assert "per-node streams" in text
+    assert "ring convergence" in text

@@ -86,3 +86,52 @@ def test_live_refutation_over_lossy_loopback_udp():
             ta.close()
             tb.close()
     asyncio.run(run())
+
+
+def test_on_transition_fires_once_per_verdict_change():
+    """The observability hook reports each state *change* exactly once —
+    re-suspicions, repeated acks and refutations stay silent."""
+    class StubTransport:
+        def __init__(self):
+            self.sent = []
+
+        def send(self, msg):
+            self.sent.append(msg)
+
+    from repro.sim.messages import ProbeAck, Refutation
+
+    clock = [0.0]
+    transitions = []
+    det = LiveSwimDetector(
+        0, StubTransport(), random.Random(3), clock=lambda: clock[0],
+        period=1.0, candidates=lambda: [1, 2], config=DetectorConfig(),
+        on_transition=lambda peer, prev, new: transitions.append(
+            (peer, prev, new)),
+    )
+
+    det._suspect(1, clock[0])
+    det._suspect(1, clock[0])  # re-suspicion: no new transition
+    assert transitions == [(1, "alive", "suspect")]
+
+    # A delivered ack clears the suspicion (suspect -> alive), once.
+    det.on_message(ProbeAck(src=1, dst=0, target=1, incarnation=0))
+    det.on_message(ProbeAck(src=1, dst=0, target=1, incarnation=0))
+    assert transitions == [(1, "alive", "suspect"), (1, "suspect", "alive")]
+
+    # Suspect again, let the grace deadline blow: suspect -> dead.
+    det._suspect(1, clock[0])
+    clock[0] = 1000.0
+    det._confirm_round(clock[0])
+    assert transitions[-1] == (1, "suspect", "dead")
+    assert det.verdict_counts() == {"suspect": 0, "dead": 1}
+
+    # Ground-truth datagram from the "dead" peer resurrects it.
+    det.note_heard(1)
+    assert transitions[-1] == (1, "dead", "alive")
+    assert det.verdict_counts() == {"suspect": 0, "dead": 0}
+
+    # Refutation path: suspect 2, then its newer incarnation clears it.
+    det._suspect(2, clock[0])
+    det.on_message(Refutation(src=2, dst=0, target=2, incarnation=5))
+    assert transitions[-2:] == [(2, "alive", "suspect"),
+                                (2, "suspect", "alive")]

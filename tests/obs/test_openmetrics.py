@@ -1,0 +1,142 @@
+"""OpenMetrics rendering and the grammar validator."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    render_openmetrics,
+    validate_exposition,
+)
+
+
+def one_node_snapshot():
+    r = MetricsRegistry()
+    r.counter("live_sent_total").inc(5)
+    r.counter("live_retransmits", cls="reliable").inc(2)
+    r.gauge("live_queue_depth").set(3)
+    r.histogram("live_delivery_hops", buckets=(1, 2, 4)).observe(1)
+    r.histogram("live_delivery_hops", buckets=(1, 2, 4)).observe(3)
+    return r.snapshot()
+
+
+class TestRender:
+    def test_round_trips_through_validator(self):
+        text = render_openmetrics({7001: one_node_snapshot(),
+                                   7002: one_node_snapshot()})
+        assert validate_exposition(text) > 0
+
+    def test_counter_family_drops_total_and_sample_keeps_it(self):
+        text = render_openmetrics({0: one_node_snapshot()})
+        assert "# TYPE live_sent counter" in text
+        assert 'live_sent_total{node="0"} 5' in text
+        # The _total suffix is added exactly once even for names that
+        # already carry it in the registry.
+        assert "live_sent_total_total" not in text
+
+    def test_every_sample_is_node_labelled(self):
+        text = render_openmetrics({7001: one_node_snapshot()})
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert 'node="7001"' in line
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_openmetrics({0: one_node_snapshot()})
+        lines = [l for l in text.splitlines()
+                 if l.startswith("live_delivery_hops")]
+        by_le = {}
+        for line in lines:
+            if "_bucket" in line:
+                le = line.split('le="')[1].split('"')[0]
+                by_le[le] = float(line.rsplit(" ", 1)[1])
+        assert by_le["1"] == 1.0       # the observe(1)
+        assert by_le["2"] == 1.0
+        assert by_le["4"] == 2.0       # +observe(3), cumulative
+        assert by_le["+Inf"] == 2.0
+        assert any(l.startswith("live_delivery_hops_count") and
+                   l.endswith(" 2") for l in lines)
+        assert any(l.startswith("live_delivery_hops_sum") for l in lines)
+
+    def test_ends_with_eof_and_newline(self):
+        text = render_openmetrics({})
+        assert text.endswith("# EOF\n")
+
+    def test_deterministic_across_scrapes(self):
+        snaps = {1: one_node_snapshot(), 2: one_node_snapshot()}
+        assert render_openmetrics(snaps) == render_openmetrics(snaps)
+
+    def test_content_type_is_openmetrics_1_0(self):
+        assert "openmetrics-text" in CONTENT_TYPE
+        assert "version=1.0.0" in CONTENT_TYPE
+
+
+class TestValidator:
+    def test_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            validate_exposition("# TYPE a counter\na_total 1\n")
+
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(ValueError, match="newline"):
+            validate_exposition("# EOF")
+
+    def test_rejects_untyped_sample(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            validate_exposition("mystery 1\n# EOF\n")
+
+    def test_rejects_counter_sample_without_total(self):
+        doc = "# TYPE a counter\na 1\n# EOF\n"
+        with pytest.raises(ValueError, match="_total"):
+            validate_exposition(doc)
+
+    def test_rejects_non_monotonic_buckets(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+            "h_sum 9\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="non-monotonic"):
+            validate_exposition(doc)
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_exposition(doc)
+
+    def test_rejects_count_disagreeing_with_inf(self):
+        doc = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 7\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            validate_exposition(doc)
+
+    def test_rejects_duplicate_type_and_labels(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_exposition(
+                "# TYPE a gauge\n# TYPE a gauge\na 1\n# EOF\n")
+        with pytest.raises(ValueError, match="duplicate label"):
+            validate_exposition(
+                '# TYPE a gauge\na{x="1",x="2"} 1\n# EOF\n')
+
+    def test_rejects_content_after_eof(self):
+        with pytest.raises(ValueError, match="after"):
+            validate_exposition("# TYPE a gauge\n# EOF\na 1\n# EOF\n")
+
+    def test_accepts_escaped_label_values(self):
+        doc = '# TYPE a gauge\na{x="with \\"quotes\\", comma"} 1\n# EOF\n'
+        assert validate_exposition(doc) == 1
+
+    def test_counts_samples(self):
+        doc = "# TYPE a counter\na_total 1\na_total{x=\"y\"} 2\n# EOF\n"
+        assert validate_exposition(doc) == 2

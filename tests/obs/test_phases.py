@@ -77,7 +77,24 @@ class TestPhaseTimer:
         pt = make_timer([0.0, 2.0])
         with pt.phase("p"):
             pass
-        assert pt.to_dict() == {"p": {"calls": 1, "total_s": 2.0}}
+        d = pt.to_dict()
+        assert set(d) == {"p"}
+        assert d["p"]["calls"] == 1
+        assert d["p"]["total_s"] == 2.0
+        # A single 2s call: both duration quantiles sit on that sample.
+        assert d["p"]["p50_s"] == 2.0
+        assert d["p"]["p99_s"] == 2.0
+
+    def test_to_dict_quantiles_bracket_mixed_durations(self):
+        pt = make_timer([0.0, 0.001, 1.0, 9.0])
+        with pt.phase("p"):
+            pass
+        with pt.phase("p"):
+            pass
+        d = pt.to_dict()
+        assert d["p"]["calls"] == 2
+        assert d["p"]["p50_s"] <= d["p"]["p99_s"]
+        assert d["p"]["p99_s"] <= 8.0  # clamped to the observed max
 
 
 class TestMerge:

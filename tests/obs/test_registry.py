@@ -87,3 +87,107 @@ class TestMetricsRegistry:
         r.counter("c", k="v").inc()
         r.histogram("h").observe(7)
         json.dumps(r.to_dict())
+
+
+class TestQuantile:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram(buckets=(1, 5))
+        assert h.quantile(0.5) is None
+        assert h.to_dict()["p50"] is None
+
+    def test_rejects_out_of_range(self):
+        h = Histogram()
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_interpolates_within_buckets(self):
+        h = Histogram(buckets=(10, 20, 30))
+        for v in (2, 4, 6, 8, 12, 14, 22, 28):
+            h.observe(v)
+        # Half the mass sits at or below the first bucket boundary.
+        assert h.quantile(0.5) <= 10.0
+        assert h.quantile(0.0) == h.min
+        assert h.quantile(1.0) == h.max
+
+    def test_clamped_to_observed_range(self):
+        # Everything lands in one wide bucket: interpolation must not
+        # report values outside [min, max].
+        h = Histogram(buckets=(100,))
+        h.observe(41)
+        h.observe(43)
+        for q in (0.5, 0.9, 0.99):
+            assert 41.0 <= h.quantile(q) <= 43.0
+
+    def test_to_dict_quantiles_ordered(self):
+        h = Histogram(buckets=(1, 2, 4, 8, 16))
+        for v in (1, 1, 2, 3, 5, 8, 13):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["p50"] <= d["p90"] <= d["p99"]
+
+
+class TestDeltaSince:
+    def test_first_delta_is_full_snapshot(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(3)
+        r.gauge("g").set(7)
+        r.histogram("h", buckets=(1, 2)).observe(2)
+        delta, cursor = r.delta_since(None)
+        m = MetricsRegistry()
+        m.merge(delta)
+        assert m.snapshot() == r.snapshot()
+        assert cursor is not None
+
+    def test_unchanged_registry_yields_none(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        _, cursor = r.delta_since(None)
+        delta, cursor2 = r.delta_since(cursor)
+        assert delta is None
+
+    def test_delta_carries_only_changed_instruments(self):
+        r = MetricsRegistry()
+        r.counter("changed").inc()
+        r.counter("frozen").inc()
+        _, cursor = r.delta_since(None)
+        r.counter("changed").inc(4)
+        delta, _ = r.delta_since(cursor)
+        names = [name for name, _key, _v in delta["counters"]]
+        assert names == ["changed"]
+        # Counters stream increments, not absolutes.
+        assert delta["counters"][0][2] == 4.0
+
+    def test_merged_deltas_equal_final_snapshot(self):
+        # Integer observations so counter/sum folds are float-exact: the
+        # stream-of-deltas must rebuild the registry bit for bit.
+        import random
+
+        rng = random.Random(42)
+        r = MetricsRegistry()
+        folded = MetricsRegistry()
+        cursor = None
+        for _round in range(20):
+            for _ in range(rng.randrange(0, 8)):
+                r.counter("sent", cls=rng.choice("ab")).inc(rng.randrange(1, 5))
+                r.gauge("depth").set(rng.randrange(0, 50))
+                r.histogram("hops", buckets=(1, 2, 4, 8)).observe(
+                    rng.randrange(0, 12))
+            delta, cursor = r.delta_since(cursor)
+            if delta is not None:
+                folded.merge(delta)
+        assert folded.snapshot() == r.snapshot()
+
+    def test_gauges_stream_current_value(self):
+        r = MetricsRegistry()
+        r.gauge("depth").set(10)
+        _, cursor = r.delta_since(None)
+        r.gauge("depth").set(3)
+        delta, _ = r.delta_since(cursor)
+        assert delta["gauges"] == [["depth", [], 3.0]]
+        m = MetricsRegistry()
+        m.gauge("depth").set(99)
+        m.merge(delta)
+        assert m.gauge("depth").value == 3.0
